@@ -1,0 +1,57 @@
+//! Ablation of PCSTALL's design choices (DESIGN.md §4): intrinsic-demand
+//! (age) normalization, the blocked-entry class bit, and barrier-as-async
+//! accounting. Reports prediction accuracy and ED²P vs static 1.7 GHz.
+
+use harness::figures::{FigureOutput, Preset};
+use harness::report::{f3, pct};
+use harness::runner::{run, run_static_baseline, RunConfig};
+use pcstall::policy::{PcStallConfig, PolicyKind};
+
+fn variants() -> Vec<(&'static str, PcStallConfig)> {
+    let base = PcStallConfig::default();
+    let mut no_age = base;
+    no_age.wf.age_normalize = false;
+    let mut no_block = base;
+    no_block.blocked_bit = false;
+    let mut no_barrier = base;
+    no_barrier.wf.barrier_as_async = false;
+    vec![
+        ("PCSTALL (default)", base),
+        ("no age normalization", no_age),
+        ("no blocked-class bit", no_block),
+        ("barrier time as core", no_barrier),
+    ]
+}
+
+fn main() {
+    let preset = Preset::from_env();
+    let apps = ["comd", "dgemm", "hacc", "BwdBN", "snapc"];
+    let mut rows = Vec::new();
+    for (name, cfg) in variants() {
+        let mut acc_sum = 0.0;
+        let mut ed2p_log = 0.0;
+        for app_name in apps {
+            let app = workloads::by_name(app_name, preset.scale).expect("registered");
+            let mut rc = RunConfig::paper(PolicyKind::PcStall(cfg));
+            rc.gpu = preset.gpu;
+            rc.power = power::model::PowerConfig::scaled_to(preset.gpu.n_cus);
+            let r = run(&app, &rc);
+            let base = run_static_baseline(&app, &rc);
+            acc_sum += if r.accuracy.is_finite() { r.accuracy } else { 0.0 };
+            ed2p_log += r.metrics.ed2p_vs(&base.metrics).max(1e-12).ln();
+        }
+        rows.push(vec![
+            name.to_string(),
+            pct(acc_sum / apps.len() as f64),
+            f3((ed2p_log / apps.len() as f64).exp()),
+        ]);
+    }
+    let out = FigureOutput {
+        id: "Ablation".into(),
+        title: "PCSTALL design-choice ablation (5 apps, 1 µs, ED²P)".into(),
+        headers: vec!["variant".into(), "mean accuracy".into(), "geomean ED²P vs 1.7".into()],
+        rows,
+        notes: vec![],
+    };
+    bench::run_figure_with("ablation_age_norm", &preset, out);
+}

@@ -1,0 +1,39 @@
+//! Ablation of PC-table sharing granularity (paper Fig. 10's 64CU/CU/WF
+//! scopes map to Global/PerDomain/PerCu table instancing).
+
+use harness::figures::{FigureOutput, Preset};
+use harness::report::pct;
+use harness::runner::{run, RunConfig};
+use pcstall::policy::{PcStallConfig, PolicyKind, TableScope};
+
+fn main() {
+    let preset = Preset::from_env();
+    let apps = ["comd", "dgemm", "hacc", "xsbench"];
+    let mut rows = Vec::new();
+    for (name, scope) in [
+        ("per CU (paper design)", TableScope::PerCu),
+        ("per V/f domain", TableScope::PerDomain),
+        ("one global table", TableScope::Global),
+    ] {
+        let mut cfg = PcStallConfig::default();
+        cfg.scope = scope;
+        let mut acc = 0.0;
+        for app_name in apps {
+            let app = workloads::by_name(app_name, preset.scale).expect("registered");
+            let mut rc = RunConfig::paper(PolicyKind::PcStall(cfg));
+            rc.gpu = preset.gpu;
+            rc.power = power::model::PowerConfig::scaled_to(preset.gpu.n_cus);
+            let r = run(&app, &rc);
+            acc += if r.accuracy.is_finite() { r.accuracy } else { 0.0 };
+        }
+        rows.push(vec![name.to_string(), pct(acc / apps.len() as f64)]);
+    }
+    let out = FigureOutput {
+        id: "Ablation".into(),
+        title: "PC-table sharing scope (4 apps, 1 µs)".into(),
+        headers: vec!["scope".into(), "mean accuracy".into()],
+        rows,
+        notes: vec!["Paper: sharing beyond a CU costs little accuracy, enabling shared tables.".into()],
+    };
+    bench::run_figure_with("ablation_scope", &preset, out);
+}

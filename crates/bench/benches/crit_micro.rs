@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks of the simulator and predictor hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvfs::domain::DomainMap;
+use dvfs::states::FreqStates;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::time::Femtos;
+use pcstall::pc_table::{PcTable, PcTableConfig};
+use pcstall::sensitivity::LinearModel;
+use std::hint::black_box;
+use workloads::{by_name, Scale};
+
+fn bench_sim_epoch(c: &mut Criterion) {
+    let app = by_name("comd", Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+    gpu.run_epoch(Femtos::from_micros(2)); // warm up
+    c.bench_function("sim_epoch_1us_tiny_gpu", |b| {
+        b.iter_batched(
+            || gpu.clone(),
+            |mut g| {
+                black_box(g.run_epoch(Femtos::from_micros(1)));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_gpu_clone(c: &mut Criterion) {
+    let app = by_name("comd", Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+    gpu.run_epoch(Femtos::from_micros(2));
+    c.bench_function("gpu_fork_clone_tiny", |b| b.iter(|| black_box(gpu.clone())));
+}
+
+fn bench_oracle_sample(c: &mut Criterion) {
+    let app = by_name("comd", Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+    gpu.run_epoch(Femtos::from_micros(2));
+    let states = FreqStates::paper();
+    let domains = DomainMap::per_cu(gpu.n_cus());
+    c.bench_function("oracle_sample_10_states_tiny", |b| {
+        b.iter(|| black_box(pcstall::oracle::sample(&gpu, Femtos::from_micros(1), &states, &domains)))
+    });
+}
+
+fn bench_pc_table(c: &mut Criterion) {
+    let mut t = PcTable::new(PcTableConfig::default());
+    for pc in 0..512u32 {
+        t.update(pc * 4, LinearModel { i0: pc as f64, s: 0.01 });
+    }
+    c.bench_function("pc_table_lookup", |b| {
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(52);
+            black_box(t.lookup(pc & 0xFFF))
+        })
+    });
+    c.bench_function("pc_table_update", |b| {
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(52);
+            t.update(pc & 0xFFF, LinearModel { i0: 5.0, s: 0.02 });
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim_epoch, bench_gpu_clone, bench_oracle_sample, bench_pc_table);
+criterion_main!(benches);

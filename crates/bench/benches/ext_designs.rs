@@ -1,0 +1,65 @@
+//! Extension study: designs beyond the paper's Table III — the global
+//! phase-history-table predictor (HIST, paper §2.4's alternative family)
+//! and the §5.4 hierarchical power cap running on top of PCSTALL.
+
+use dvfs::hierarchy::PowerCapConfig;
+use harness::figures::{FigureOutput, Preset};
+use harness::report::{f3, pct};
+use harness::runner::{run, run_static_baseline, RunConfig};
+use pcstall::history::HistoryConfig;
+use pcstall::policy::{PcStallConfig, PolicyKind};
+
+fn main() {
+    let preset = Preset::from_env();
+    let apps = ["comd", "dgemm", "hacc", "xsbench", "BwdBN"];
+    let designs = [
+        ("HIST (phase history)", PolicyKind::History(HistoryConfig::default()), None),
+        ("PCSTALL", PolicyKind::PcStall(PcStallConfig::default()), None),
+        (
+            "PCSTALL + power cap",
+            PolicyKind::PcStall(PcStallConfig::default()),
+            // A budget roughly 80% of the reduced chip's typical draw.
+            Some(PowerCapConfig::new(0.8 * 40.0 * preset.gpu.n_cus as f64 / 64.0 + 20.0)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy, cap) in designs {
+        let mut acc = 0.0;
+        let mut ed2p_log = 0.0;
+        let mut power_w = 0.0;
+        for app_name in apps {
+            let app = workloads::by_name(app_name, preset.scale).expect("registered");
+            let mut rc = RunConfig::paper(policy);
+            rc.gpu = preset.gpu;
+            rc.power = power::model::PowerConfig::scaled_to(preset.gpu.n_cus);
+            rc.power_cap = cap;
+            let r = run(&app, &rc);
+            let base = run_static_baseline(&app, &rc);
+            acc += if r.accuracy.is_finite() { r.accuracy } else { 0.0 };
+            ed2p_log += r.metrics.ed2p_vs(&base.metrics).max(1e-12).ln();
+            power_w += r.metrics.energy_j / r.metrics.delay_s;
+        }
+        let n = apps.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            pct(acc / n),
+            f3((ed2p_log / n).exp()),
+            format!("{:.1} W", power_w / n),
+        ]);
+    }
+    let out = FigureOutput {
+        id: "Extension".into(),
+        title: "Beyond Table III: history-table prediction and hierarchical power capping".into(),
+        headers: vec![
+            "design".into(),
+            "mean accuracy".into(),
+            "geomean ED²P vs 1.7".into(),
+            "mean chip power".into(),
+        ],
+        rows,
+        notes: vec![
+            "HIST anticipates repeating patterns but has no insight into *why* behavior changes; the power cap trades ED²P for a firm average-power bound.".into(),
+        ],
+    };
+    bench::run_figure_with("ext_designs", &preset, out);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig01a. Run: `cargo bench --bench fig01a_ed2p_vs_epoch`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig01a_ed2p_vs_epoch", harness::figures::fig01a);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig01b. Run: `cargo bench --bench fig01b_accuracy_vs_epoch`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig01b_accuracy_vs_epoch", harness::figures::fig01b);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig05. Run: `cargo bench --bench fig05_linearity`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig05_linearity", harness::figures::fig05);
+}

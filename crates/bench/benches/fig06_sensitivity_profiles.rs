@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig06. Run: `cargo bench --bench fig06_sensitivity_profiles`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig06_sensitivity_profiles", harness::figures::fig06);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig07. Run: `cargo bench --bench fig07_variability`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig07_variability", harness::figures::fig07);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig08. Run: `cargo bench --bench fig08_wavefront_contrib`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig08_wavefront_contrib", harness::figures::fig08);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10. Run: `cargo bench --bench fig10_pc_iteration_stability`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig10_pc_iteration_stability", harness::figures::fig10);
+}

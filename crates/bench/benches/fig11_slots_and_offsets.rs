@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11. Run: `cargo bench --bench fig11_slots_and_offsets`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig11_slots_and_offsets", harness::figures::fig11);
+}

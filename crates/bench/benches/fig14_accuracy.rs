@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig14. Run: `cargo bench --bench fig14_accuracy`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig14_accuracy", harness::figures::fig14);
+}

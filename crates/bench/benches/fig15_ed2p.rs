@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15. Run: `cargo bench --bench fig15_ed2p`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig15_ed2p", harness::figures::fig15);
+}

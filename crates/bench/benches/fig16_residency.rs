@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig16. Run: `cargo bench --bench fig16_residency`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig16_residency", harness::figures::fig16);
+}

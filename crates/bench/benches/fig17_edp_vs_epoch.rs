@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig17. Run: `cargo bench --bench fig17_edp_vs_epoch`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig17_edp_vs_epoch", harness::figures::fig17);
+}

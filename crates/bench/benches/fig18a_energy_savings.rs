@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18a. Run: `cargo bench --bench fig18a_energy_savings`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig18a_energy_savings", harness::figures::fig18a);
+}

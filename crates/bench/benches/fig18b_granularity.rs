@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18b. Run: `cargo bench --bench fig18b_granularity`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("fig18b_granularity", harness::figures::fig18b);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1. Run: `cargo bench --bench table1_storage`
+//! (`PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+
+fn main() {
+    bench::run_figure("table1_storage", harness::figures::table1);
+}

@@ -1,0 +1,5 @@
+//! Prints the paper's Table II (the workload suite).
+
+fn main() {
+    bench::run_figure("table2_workloads", harness::figures::table2_figure);
+}

@@ -1,0 +1,54 @@
+//! Shared driver for the figure-reproduction bench targets.
+//!
+//! Every paper figure/table has a `[[bench]]` target with `harness = false`
+//! whose `main` calls [`run_figure`]: the experiment runs at the preset
+//! scale (reduced by default; `PCSTALL_FULL=1` for the 64-CU paper
+//! platform), prints the paper-style table, and archives it under
+//! `results/`.
+
+use harness::figures::{FigureOutput, Preset};
+use harness::report::write_csv;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Runs one figure experiment, prints its table and archives it.
+pub fn run_figure(name: &str, f: fn(&Preset) -> FigureOutput) {
+    let preset = Preset::from_env();
+    let t0 = Instant::now();
+    let out = f(&preset);
+    eprintln!("[{name}] computed in {:.1}s", t0.elapsed().as_secs_f64());
+    run_figure_with(name, &preset, out);
+}
+
+/// Prints and archives an already-computed figure output.
+pub fn run_figure_with(name: &str, preset: &Preset, out: FigureOutput) {
+    let t0 = Instant::now();
+    println!("{}", out.render());
+    let dir = results_dir();
+    let md = dir.join(format!("{name}.md"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    if let Err(e) = std::fs::write(&md, out.render()) {
+        eprintln!("warning: cannot write {}: {e}", md.display());
+    }
+    let headers: Vec<&str> = out.headers.iter().map(String::as_str).collect();
+    if let Err(e) = write_csv(&dir.join(format!("{name}.csv")), &headers, &out.rows) {
+        eprintln!("warning: cannot write csv: {e}");
+    }
+    eprintln!(
+        "[{name}] done in {:.1}s (preset: {}; set PCSTALL_FULL=1 for paper scale)",
+        t0.elapsed().as_secs_f64(),
+        if preset.full { "full 64-CU" } else { "reduced 16-CU" },
+    );
+}
+
+/// Where figure outputs are archived.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("results")
+}

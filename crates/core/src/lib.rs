@@ -1,0 +1,56 @@
+//! # pcstall — wavefront-level PC-based DVFS sensitivity prediction
+//!
+//! The core library of the reproduction of *Predict; Don't React for
+//! Enabling Efficient Fine-Grain DVFS in GPUs* (ASPLOS 2023). It implements:
+//!
+//! * the **frequency-sensitivity metric** `S = ΔInstructions/ΔFrequency`
+//!   and its linear epoch model ([`sensitivity`]),
+//! * the four **CU-level estimation baselines** (STALL, LEAD, CRIT, CRISP)
+//!   and the **wavefront-level STALL estimator** ([`estimators`]),
+//! * the **PC-indexed sensitivity table** with the paper's 128-entry,
+//!   4-offset-bit tuning ([`pc_table`]),
+//! * the **fork–pre-execute oracle** methodology ([`oracle`]),
+//! * the complete set of **Table III designs** behind one policy interface
+//!   ([`policy`]), and
+//! * the **prediction-accuracy metric** ([`accuracy`]).
+//!
+//! The intended composition (what `harness` does every epoch):
+//!
+//! ```text
+//! elapsed EpochStats ──estimate──▶ per-WF sensitivity ──update──▶ PC table
+//! resident WF PCs    ──lookup────▶ Σ per-WF models = domain curve
+//! domain curve + power model ──objective──▶ next-epoch frequency
+//! ```
+//!
+//! ```
+//! use pcstall::prelude::*;
+//!
+//! // The designs evaluated by the paper (Table III):
+//! let designs = PolicyKind::table3();
+//! assert_eq!(designs.len(), 8);
+//! assert_eq!(designs[5].name(), "PCSTALL");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod estimators;
+pub mod history;
+pub mod oracle;
+pub mod pc_table;
+pub mod policy;
+pub mod sensitivity;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::accuracy::{prediction_accuracy, AccuracyMeter};
+    pub use crate::estimators::{CuEstimator, WfStallConfig, WfStallEstimator};
+    pub use crate::history::{HistoryConfig, HistoryTable};
+    pub use crate::oracle::{probe_two_point, sample, sample_uniform, OracleSamples};
+    pub use crate::pc_table::{PcTable, PcTableConfig};
+    pub use crate::policy::{
+        DecideCtx, Decision, DvfsPolicy, PcStallConfig, PcStallPolicy, PolicyKind, TableScope,
+    };
+    pub use crate::sensitivity::{avg_relative_change, fit_line, FreqResponse, LinearModel};
+}

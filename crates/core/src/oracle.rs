@@ -1,0 +1,250 @@
+//! Fork–pre-execute oracle sampling (paper Section 5.1 and Figure 13).
+//!
+//! The simulator state is cloned ("forked") into one sampling copy per V/f
+//! state. In sample `s`, domain `d` runs at state `(s + d) mod n` — the
+//! paper's frequency *shuffle*, which decorrelates a domain's sample from
+//! any systematic choice of the other domains' frequencies. Each sampling
+//! copy executes one epoch; stitching the per-domain results back together
+//! yields, for every domain, its measured instruction count at every state
+//! from the *exact same starting conditions* — the oracle curve.
+//!
+//! Because `gpu_sim::gpu::Gpu` is deterministic and `Clone`, re-running the
+//! original afterwards with chosen frequencies is exact rollback
+//! re-execution.
+
+use dvfs::domain::DomainMap;
+use dvfs::states::FreqStates;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::isa::Pc;
+use gpu_sim::stats::EpochStats;
+use gpu_sim::time::Femtos;
+
+/// The oracle's measurements for one upcoming epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSamples {
+    /// Instructions committed per `[domain][state]`.
+    pub domain_curves: Vec<Vec<f64>>,
+    /// Instructions committed per `[cu][slot][state]` (per-wavefront
+    /// accurate curves, used by the ACCPC design).
+    pub wf_committed: Vec<Vec<Vec<u32>>>,
+    /// Intrinsic per-wavefront demand per `[cu][slot][state]`: committed
+    /// instructions with scheduler-denial time factored out.
+    pub wf_intrinsic: Vec<Vec<Vec<f32>>>,
+    /// Scheduler-denial fraction per `[cu][slot][state]`.
+    pub wf_denial: Vec<Vec<Vec<f32>>>,
+    /// Each slot's PC at the epoch start, per `[cu][slot]`.
+    pub wf_start_pc: Vec<Vec<Pc>>,
+    /// Each slot's kernel index at the epoch start, per `[cu][slot]`.
+    pub wf_kernel: Vec<Vec<u32>>,
+    /// Whether the slot held a live wavefront at the epoch start.
+    pub wf_present: Vec<Vec<bool>>,
+}
+
+impl OracleSamples {
+    /// The measured instruction curve of `domain` as a closure over
+    /// frequency, suitable for [`dvfs::objective::Objective::choose`].
+    pub fn curve<'a>(
+        &'a self,
+        domain: usize,
+        states: &'a FreqStates,
+    ) -> impl Fn(gpu_sim::time::Frequency) -> f64 + 'a {
+        move |f| {
+            let idx = states.index_of(f).expect("frequency not in state set");
+            self.domain_curves[domain][idx]
+        }
+    }
+}
+
+/// Fork–pre-execute sampling of the next epoch of `gpu`.
+///
+/// Spawns `states.len()` sampling clones with shuffled per-domain
+/// frequencies (no transition stall — the pre-execution measures steady
+/// behavior at each state) and runs each for `duration`.
+pub fn sample(
+    gpu: &Gpu,
+    duration: Femtos,
+    states: &FreqStates,
+    domains: &DomainMap,
+) -> OracleSamples {
+    let n_states = states.len();
+    let n_domains = domains.len();
+    let n_cus = gpu.n_cus();
+    let wf_slots = gpu.config().wf_slots;
+
+    let mut domain_curves = vec![vec![0.0; n_states]; n_domains];
+    let mut wf_committed = vec![vec![vec![0u32; n_states]; wf_slots]; n_cus];
+    let mut wf_intrinsic = vec![vec![vec![0f32; n_states]; wf_slots]; n_cus];
+    let mut wf_denial = vec![vec![vec![0f32; n_states]; wf_slots]; n_cus];
+    let mut wf_start_pc = vec![vec![0 as Pc; wf_slots]; n_cus];
+    let mut wf_kernel = vec![vec![0u32; wf_slots]; n_cus];
+    let mut wf_present = vec![vec![false; wf_slots]; n_cus];
+
+    // Record slot identities from the un-forked state.
+    for cu in 0..n_cus {
+        for (slot, wf) in gpu.cu(cu).wavefronts().iter().enumerate() {
+            wf_start_pc[cu][slot] = wf.pc();
+            wf_kernel[cu][slot] = wf.kernel_idx;
+            wf_present[cu][slot] = wf.active && !wf.finished;
+        }
+    }
+
+    for s in 0..n_states {
+        let mut fork = gpu.clone();
+        for (d, cus) in domains.iter() {
+            let state_idx = (s + d) % n_states;
+            let f = states.as_slice()[state_idx];
+            fork.set_frequency_of(cus, f, Femtos::ZERO);
+        }
+        let stats = fork.run_epoch(duration);
+        for (d, _) in domains.iter() {
+            let state_idx = (s + d) % n_states;
+            domain_curves[d][state_idx] = stats.committed_in(domains.cus(d)) as f64;
+        }
+        for cu in 0..n_cus {
+            let state_idx = (s + domains.domain_of(cu)) % n_states;
+            for (slot, wf) in stats.cus[cu].wf.iter().enumerate() {
+                wf_committed[cu][slot][state_idx] = wf.committed;
+                let denial =
+                    (wf.sched_wait.as_fs() as f64 / duration.as_fs() as f64).clamp(0.0, 0.95);
+                wf_intrinsic[cu][slot][state_idx] =
+                    (wf.committed as f64 / (1.0 - denial)) as f32;
+                wf_denial[cu][slot][state_idx] = denial as f32;
+            }
+        }
+    }
+
+    OracleSamples {
+        domain_curves,
+        wf_committed,
+        wf_intrinsic,
+        wf_denial,
+        wf_start_pc,
+        wf_kernel,
+        wf_present,
+    }
+}
+
+/// Uniform (non-shuffled) sampling: every CU runs at the same state in each
+/// sampling copy. Returns the full epoch telemetry per state — this is the
+/// exhaustive measurement behind the paper's Figure 5 linearity study and
+/// the sensitivity-profiling figures.
+pub fn sample_uniform(gpu: &Gpu, duration: Femtos, states: &FreqStates) -> Vec<EpochStats> {
+    let all: Vec<usize> = (0..gpu.n_cus()).collect();
+    states
+        .iter()
+        .map(|f| {
+            let mut fork = gpu.clone();
+            fork.set_frequency_of(&all, f, Femtos::ZERO);
+            fork.run_epoch(duration)
+        })
+        .collect()
+}
+
+/// Two-point sensitivity probe: measures each CU's (and wavefront's)
+/// committed instructions at the lowest and highest states, from identical
+/// starting conditions. Returns `(low, high)` epoch telemetry. This is the
+/// cheap probe the measurement studies (Figures 6–11) are built on.
+pub fn probe_two_point(gpu: &Gpu, duration: Femtos, states: &FreqStates) -> (EpochStats, EpochStats) {
+    let all: Vec<usize> = (0..gpu.n_cus()).collect();
+    let mut lo = gpu.clone();
+    lo.set_frequency_of(&all, states.min(), Femtos::ZERO);
+    let mut hi = gpu.clone();
+    hi.set_frequency_of(&all, states.max(), Femtos::ZERO);
+    (lo.run_epoch(duration), hi.run_epoch(duration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::kernel::{AddressPattern, App, KernelBuilder};
+
+    fn mixed_app() -> App {
+        let mut b = KernelBuilder::new("mix", 64, 4, 11);
+        let p = b.pattern(AddressPattern::Stream { base: 0, region: 1 << 24 });
+        b.begin_loop(200, 0);
+        b.load(p);
+        b.valu(2, 6);
+        b.wait_all_loads();
+        b.valu(2, 6);
+        b.end_loop();
+        App::new("mix", vec![b.finish()]).unwrap()
+    }
+
+    #[test]
+    fn shuffled_sampling_fills_every_domain_state_cell() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(2)); // warm up
+        let states = FreqStates::paper();
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        let s = sample(&gpu, Femtos::from_micros(1), &states, &domains);
+        assert_eq!(s.domain_curves.len(), domains.len());
+        for d in 0..domains.len() {
+            assert_eq!(s.domain_curves[d].len(), states.len());
+            assert!(
+                s.domain_curves[d].iter().all(|&v| v > 0.0),
+                "domain {d} has an unsampled state: {:?}",
+                s.domain_curves[d]
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_curves_increase_for_compute_work() {
+        let mut b = KernelBuilder::new("c", 64, 4, 1);
+        b.begin_loop(5000, 0);
+        b.valu(1, 16);
+        b.end_loop();
+        let app = App::new("compute", vec![b.finish()]).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+        gpu.run_epoch(Femtos::from_micros(1));
+        let states = FreqStates::paper();
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        let s = sample(&gpu, Femtos::from_micros(1), &states, &domains);
+        for d in 0..domains.len() {
+            let c = &s.domain_curves[d];
+            assert!(
+                c.last().unwrap() > c.first().unwrap(),
+                "domain {d}: compute work should be frequency sensitive ({c:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_does_not_mutate_the_original() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(1));
+        let before = gpu.clone();
+        let states = FreqStates::paper();
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        let _ = sample(&gpu, Femtos::from_micros(1), &states, &domains);
+        // The original must be untouched: running both forward gives
+        // identical results.
+        let mut a = before;
+        let s1 = a.run_epoch(Femtos::from_micros(1));
+        let s2 = gpu.run_epoch(Femtos::from_micros(1));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn uniform_sampling_one_epoch_per_state() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(1));
+        let states = FreqStates::paper();
+        let all = sample_uniform(&gpu, Femtos::from_micros(1), &states);
+        assert_eq!(all.len(), states.len());
+        // Every sampled epoch ran at the sampled state.
+        for (stats, f) in all.iter().zip(states.iter()) {
+            assert!(stats.cus.iter().all(|c| c.freq == f));
+        }
+    }
+
+    #[test]
+    fn two_point_probe_brackets() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(1));
+        let states = FreqStates::paper();
+        let (lo, hi) = probe_two_point(&gpu, Femtos::from_micros(1), &states);
+        assert!(hi.committed_total() >= lo.committed_total());
+    }
+}

@@ -1,0 +1,53 @@
+//! # dvfs — V/f domains, epochs and objective functions
+//!
+//! The DVFS control plumbing of the PCSTALL reproduction:
+//!
+//! * [`states::FreqStates`] — the 10-state 1.3–2.2 GHz set.
+//! * [`domain::DomainMap`] — partitioning CUs into V/f domains (per-CU in
+//!   the paper's headline results; 2–32-CU groups in its scalability study).
+//! * [`epoch::EpochConfig`] — fixed-time epochs with the paper's
+//!   transition-latency scaling (4 ns per µs of epoch length).
+//! * [`objective::Objective`] — EDP / ED²P / energy-under-performance-bound
+//!   frequency selection from any predicted performance curve, kept
+//!   deliberately separate from the prediction mechanism.
+//! * [`hierarchy::PowerCapManager`] — the paper's Section 5.4 higher-level
+//!   power manager, which adjusts the state range the fine-grain
+//!   controller may use to meet a chip power budget.
+//!
+//! ```
+//! use dvfs::prelude::*;
+//! use power::model::PowerModel;
+//!
+//! let states = FreqStates::paper();
+//! let power = PowerModel::default();
+//! let ctx = SelectionContext {
+//!     states: &states,
+//!     epoch: EpochConfig::paper(1),
+//!     power: &power,
+//!     domain_cus: 1,
+//!     issue_width: 4,
+//!     total_cus: 64,
+//!     current: states.min(),
+//! };
+//! // A memory-bound prediction selects the lowest state under ED²P.
+//! let f = Objective::MinEd2p.choose(&ctx, |_| 1000.0);
+//! assert_eq!(f, states.min());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod domain;
+pub mod epoch;
+pub mod hierarchy;
+pub mod objective;
+pub mod states;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::domain::DomainMap;
+    pub use crate::epoch::EpochConfig;
+    pub use crate::hierarchy::{CapAction, PowerCapConfig, PowerCapManager};
+    pub use crate::objective::{Objective, SelectionContext};
+    pub use crate::states::FreqStates;
+}

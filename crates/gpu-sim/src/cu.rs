@@ -1,0 +1,714 @@
+//! Compute-unit model: oldest-first wavefront scheduling, in-order issue,
+//! `s_waitcnt` stall semantics, per-CU L1, and per-epoch telemetry.
+//!
+//! Each CU runs in its own clock domain (its V/f island); the frequency may
+//! change between epochs, at which point the cycle grid re-anchors and a
+//! transition stall is applied by the GPU top level.
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::isa::Op;
+use crate::kernel::Kernel;
+use crate::mem::MemSystem;
+use crate::stats::{CuEpochStats, OpMix, WfEpochStats};
+use crate::time::{Femtos, Frequency};
+use crate::wavefront::Wavefront;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel "no scheduled cycle" time for fully idle CUs.
+pub const IDLE: Femtos = Femtos(u64::MAX);
+
+/// Per-workgroup bookkeeping within a CU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct WgState {
+    active: bool,
+    /// Live (unfinished) member wavefronts.
+    remaining: u8,
+    /// Members currently blocked at the barrier.
+    at_barrier: u8,
+}
+
+impl WgState {
+    fn empty() -> Self {
+        WgState { active: false, remaining: 0, at_barrier: 0 }
+    }
+}
+
+/// What happened during one CU step, reported to the GPU top level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepOutcome {
+    /// Workgroups that completed in this step (multi-issue can retire the
+    /// final wavefronts of several workgroups in one cycle).
+    pub workgroups_done: u32,
+}
+
+/// Non-issue interval classification for estimator telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Gap {
+    MemOnly,
+    StoreOnly,
+    Idle,
+}
+
+/// A single compute unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cu {
+    /// CU id (index within the GPU).
+    pub id: usize,
+    freq: Frequency,
+    period: Femtos,
+    /// Next scheduled cycle time ([`IDLE`] when nothing to do).
+    pub next_cycle: Femtos,
+    slots: Vec<Wavefront>,
+    wgs: Vec<WgState>,
+    l1: Cache,
+    l1_hit_lat: u64,
+    issue_width: usize,
+    // ---- CU-wide outstanding tracking (for leading-load & gap classing).
+    cu_pending_loads: Vec<Femtos>,
+    cu_pending_stores: Vec<Femtos>,
+    // ---- epoch accounting ----
+    epoch_start: Femtos,
+    accounted_until: Femtos,
+    /// Classification of the in-flight non-issue gap (charged lazily when
+    /// the gap ends or at the epoch boundary, so boundary-spanning gaps are
+    /// attributed to the right epochs).
+    gap_class: Gap,
+    e_committed: u64,
+    e_busy: Femtos,
+    e_mem_only: Femtos,
+    e_store_only: Femtos,
+    e_idle: Femtos,
+    e_store_stall: Femtos,
+    e_lead: Femtos,
+    e_op_mix: OpMix,
+}
+
+impl Cu {
+    /// Creates an idle CU.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        let freq = Frequency::from_mhz(cfg.initial_freq_mhz);
+        Cu {
+            id,
+            freq,
+            period: freq.period(),
+            next_cycle: IDLE,
+            slots: (0..cfg.wf_slots).map(|_| Wavefront::empty()).collect(),
+            wgs: vec![WgState::empty(); cfg.wf_slots],
+            l1: Cache::new(cfg.l1),
+            l1_hit_lat: cfg.l1_hit_cycles as u64,
+            issue_width: cfg.issue_width.max(1),
+            cu_pending_loads: Vec::new(),
+            cu_pending_stores: Vec::new(),
+            epoch_start: Femtos::ZERO,
+            accounted_until: Femtos::ZERO,
+            gap_class: Gap::Idle,
+            e_committed: 0,
+            e_busy: Femtos::ZERO,
+            e_mem_only: Femtos::ZERO,
+            e_store_only: Femtos::ZERO,
+            e_idle: Femtos::ZERO,
+            e_store_stall: Femtos::ZERO,
+            e_lead: Femtos::ZERO,
+            e_op_mix: OpMix::default(),
+        }
+    }
+
+    /// Current operating frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// Current clock period.
+    pub fn period(&self) -> Femtos {
+        self.period
+    }
+
+    /// Changes the operating frequency (takes effect for subsequent cycles).
+    pub fn set_frequency(&mut self, freq: Frequency) {
+        self.freq = freq;
+        self.period = freq.period();
+    }
+
+    /// Whether any live wavefront is resident.
+    pub fn has_work(&self) -> bool {
+        self.slots.iter().any(|w| w.active && !w.finished)
+    }
+
+    /// Number of live wavefronts.
+    pub fn live_wavefronts(&self) -> u32 {
+        self.slots.iter().filter(|w| w.active && !w.finished).count() as u32
+    }
+
+    /// Read-only view of the wavefront slots (used by predictors that need
+    /// each wavefront's *next* PC at epoch boundaries).
+    pub fn wavefronts(&self) -> &[Wavefront] {
+        &self.slots
+    }
+
+    /// Tries to dispatch a workgroup of `wg_size` wavefronts of kernel
+    /// `kernel_idx` at time `now`. Returns `true` on success (enough free
+    /// slots), `false` if the CU is full.
+    pub fn try_dispatch_wg(
+        &mut self,
+        kernel: &Kernel,
+        kernel_idx: u32,
+        first_uid: u64,
+        first_age: u64,
+        now: Femtos,
+    ) -> bool {
+        let wg_size = kernel.wg_wavefronts as usize;
+        let free: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.active)
+            .map(|(i, _)| i)
+            .take(wg_size)
+            .collect();
+        if free.len() < wg_size {
+            return false;
+        }
+        let wg_local = self
+            .wgs
+            .iter()
+            .position(|g| !g.active)
+            .expect("free wavefront slots imply a free workgroup slot");
+        self.wgs[wg_local] =
+            WgState { active: true, remaining: wg_size as u8, at_barrier: 0 };
+        for (k, &slot) in free.iter().enumerate() {
+            let wf = &mut self.slots[slot];
+            wf.dispatch(
+                first_uid + k as u64,
+                first_age + k as u64,
+                wg_local as u8,
+                kernel_idx,
+                kernel.loops.len(),
+            );
+            wf.wait_until = now;
+        }
+        // Re-anchor the cycle grid at dispatch when the CU was idle or had
+        // skipped ahead past `now`.
+        if self.next_cycle == IDLE || self.next_cycle > now {
+            self.next_cycle = now;
+        }
+        true
+    }
+
+    /// Executes one scheduling step at time `now` (which must equal
+    /// `next_cycle`), advancing `next_cycle`.
+    pub fn step(&mut self, now: Femtos, mem: &mut MemSystem, app_kernels: &[Kernel]) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        // Pick the oldest `issue_width` ready wavefronts; charge sched-wait
+        // to ready wavefronts that lost arbitration.
+        let mut ready: Vec<(u64, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, wf)| wf.ready(now))
+            .map(|(i, wf)| (wf.age, i))
+            .collect();
+        ready.sort_unstable();
+        if !ready.is_empty() {
+            // Close any in-flight gap first.
+            let gap = self.gap_class;
+            self.account(gap, self.accounted_until, now);
+            for &(_, j) in ready.iter().skip(self.issue_width) {
+                self.slots[j].e_sched_wait += self.period;
+            }
+            for k in 0..ready.len().min(self.issue_width) {
+                self.issue(ready[k].1, now, mem, app_kernels, &mut outcome);
+            }
+            self.add_busy(now, now + self.period);
+            self.next_cycle = now + self.period;
+        } else {
+            // Nothing ready: skip ahead to the next wake-up.
+            let mut wake = IDLE;
+            let mut all_barrier = true;
+            let mut any_live = false;
+            for wf in &self.slots {
+                if wf.active && !wf.finished {
+                    any_live = true;
+                    if !wf.at_barrier {
+                        all_barrier = false;
+                        wake = wake.min(wf.wait_until);
+                    }
+                }
+            }
+            if !any_live {
+                self.gap_class = Gap::Idle;
+                self.next_cycle = IDLE;
+                return outcome;
+            }
+            assert!(
+                !all_barrier,
+                "CU {}: all live wavefronts blocked at a barrier (kernel deadlock)",
+                self.id
+            );
+            debug_assert!(wake > now);
+            // Classify now; charge when the gap ends (or at the epoch
+            // boundary flush), so boundary-spanning gaps split correctly.
+            self.gap_class = self.classify_gap(now);
+            self.next_cycle = wake.align_up(now, self.period);
+        }
+        outcome
+    }
+
+    /// Charges any in-flight gap up to `until` — call at epoch boundaries
+    /// before [`Cu::collect`] so accounting never spills across epochs.
+    pub fn flush_accounting(&mut self, until: Femtos) {
+        let gap = self.gap_class;
+        self.account(gap, self.accounted_until, until);
+    }
+
+    fn classify_gap(&mut self, now: Femtos) -> Gap {
+        self.cu_pending_loads.retain(|&t| t > now);
+        if !self.cu_pending_loads.is_empty() {
+            return Gap::MemOnly;
+        }
+        self.cu_pending_stores.retain(|&t| t > now);
+        if !self.cu_pending_stores.is_empty() {
+            Gap::StoreOnly
+        } else {
+            Gap::Idle
+        }
+    }
+
+    fn add_busy(&mut self, from: Femtos, to: Femtos) {
+        let s = from.max(self.accounted_until);
+        if to > s {
+            self.e_busy += to - s;
+            self.accounted_until = to;
+        }
+    }
+
+    fn account(&mut self, gap: Gap, from: Femtos, to: Femtos) {
+        let s = from.max(self.accounted_until);
+        if to > s {
+            let d = to - s;
+            match gap {
+                Gap::MemOnly => self.e_mem_only += d,
+                Gap::StoreOnly => self.e_store_only += d,
+                Gap::Idle => self.e_idle += d,
+            }
+            self.accounted_until = to;
+        }
+    }
+
+    fn issue(
+        &mut self,
+        slot: usize,
+        now: Femtos,
+        mem: &mut MemSystem,
+        app_kernels: &[Kernel],
+        outcome: &mut StepOutcome,
+    ) {
+        let period = self.period;
+        let cu_id = self.id;
+        let l1_lat = self.l1_hit_lat;
+        let wf = &mut self.slots[slot];
+        let kernel = &app_kernels[wf.kernel_idx as usize];
+        let op = kernel.code[wf.pc_index as usize];
+        if op.counts_as_committed() {
+            wf.e_committed += 1;
+            self.e_committed += 1;
+        }
+        match op {
+            Op::Valu { .. } => self.e_op_mix.valu += 1,
+            Op::Salu => self.e_op_mix.salu += 1,
+            Op::Load { .. } => self.e_op_mix.loads += 1,
+            Op::Store { .. } => self.e_op_mix.stores += 1,
+            Op::Waitcnt { .. } => self.e_op_mix.waitcnt += 1,
+            Op::Branch { .. } => self.e_op_mix.branches += 1,
+            Op::Barrier | Op::EndKernel => {}
+        }
+        let wf = &mut self.slots[slot];
+        match op {
+            Op::Valu { lat } => {
+                wf.wait_until = now + period * lat as u64;
+                wf.pc_index += 1;
+            }
+            Op::Salu => {
+                wf.wait_until = now + period;
+                wf.pc_index += 1;
+            }
+            Op::Load { pattern } => {
+                let addr =
+                    kernel.patterns[pattern as usize].address(wf.uid, wf.mem_counter, kernel.seed);
+                wf.mem_counter += 1;
+                let hit = self.l1.access(addr);
+                let complete = if hit {
+                    now + period * l1_lat
+                } else {
+                    mem.load(cu_id, addr, now, period).complete_at
+                };
+                wf.drain_loads(now);
+                if wf.pending_loads.is_empty() {
+                    wf.e_lead += complete - now;
+                }
+                wf.pending_loads.push(complete);
+                // CU-level leading-load tracking.
+                self.cu_pending_loads.retain(|&t| t > now);
+                if self.cu_pending_loads.is_empty() {
+                    self.e_lead += complete - now;
+                }
+                self.cu_pending_loads.push(complete);
+                wf.wait_until = now + period;
+                wf.pc_index += 1;
+            }
+            Op::Store { pattern } => {
+                let addr =
+                    kernel.patterns[pattern as usize].address(wf.uid, wf.mem_counter, kernel.seed);
+                wf.mem_counter += 1;
+                let ack = mem.store(cu_id, addr, now, period).complete_at;
+                wf.drain_stores(now);
+                wf.pending_stores.push(ack);
+                self.cu_pending_stores.retain(|&t| t > now);
+                self.cu_pending_stores.push(ack);
+                wf.wait_until = now + period;
+                wf.pc_index += 1;
+            }
+            Op::Waitcnt { vm, st } => {
+                wf.drain_loads(now);
+                wf.drain_stores(now);
+                let load_target = if vm == u8::MAX {
+                    now
+                } else {
+                    wf.loads_satisfied_at(now, vm as usize)
+                };
+                let store_target = if st == u8::MAX {
+                    now
+                } else {
+                    wf.stores_satisfied_at(now, st as usize)
+                };
+                let target = load_target.max(store_target);
+                if target > now {
+                    wf.e_stall += target - now;
+                    wf.mem_blocked_until = target;
+                    if store_target > load_target {
+                        // Portion of the stall exposed purely by stores.
+                        self.e_store_stall += store_target - load_target.max(now);
+                    }
+                }
+                wf.wait_until = target.max(now + period);
+                wf.pc_index += 1;
+            }
+            Op::Barrier => {
+                wf.at_barrier = true;
+                wf.barrier_since = now;
+                wf.pc_index += 1;
+                let wg_local = wf.wg_local as usize;
+                self.wgs[wg_local].at_barrier += 1;
+                self.maybe_release_barrier(wg_local, now);
+            }
+            Op::Branch { target, slot: lslot } => {
+                let li = kernel.loops[lslot as usize];
+                let trips = li.effective_trips(wf.uid, lslot, kernel.seed);
+                let iters = &mut wf.branch_iters[lslot as usize];
+                *iters += 1;
+                if *iters < trips {
+                    wf.pc_index = target / 4;
+                } else {
+                    *iters = 0;
+                    wf.pc_index += 1;
+                }
+                wf.wait_until = now + period;
+            }
+            Op::EndKernel => {
+                wf.finished = true;
+                wf.active = false;
+                let wg_local = wf.wg_local as usize;
+                let wg = &mut self.wgs[wg_local];
+                wg.remaining -= 1;
+                if wg.remaining == 0 {
+                    wg.active = false;
+                    outcome.workgroups_done += 1;
+                } else {
+                    // A straggler finishing can complete a barrier.
+                    self.maybe_release_barrier(wg_local, now);
+                }
+            }
+        }
+    }
+
+    fn maybe_release_barrier(&mut self, wg_local: usize, now: Femtos) {
+        let wg = self.wgs[wg_local];
+        if wg.active && wg.remaining > 0 && wg.at_barrier == wg.remaining {
+            let period = self.period;
+            for wf in &mut self.slots {
+                if wf.active && !wf.finished && wf.wg_local as usize == wg_local && wf.at_barrier {
+                    wf.at_barrier = false;
+                    wf.e_barrier_stall += now - wf.barrier_since.max(self.epoch_start);
+                    wf.wait_until = now + period;
+                }
+            }
+            self.wgs[wg_local].at_barrier = 0;
+        }
+    }
+
+    /// Resets per-epoch telemetry; call at every epoch boundary.
+    pub fn begin_epoch(&mut self, epoch_start: Femtos) {
+        self.epoch_start = epoch_start;
+        self.e_committed = 0;
+        self.e_busy = Femtos::ZERO;
+        self.e_mem_only = Femtos::ZERO;
+        self.e_store_only = Femtos::ZERO;
+        self.e_idle = Femtos::ZERO;
+        self.e_store_stall = Femtos::ZERO;
+        self.e_lead = Femtos::ZERO;
+        self.e_op_mix = OpMix::default();
+        self.accounted_until = self.accounted_until.max(epoch_start);
+        self.l1.reset_counters();
+        for wf in &mut self.slots {
+            wf.begin_epoch(epoch_start);
+        }
+    }
+
+    /// Snapshots this epoch's telemetry. `epoch_end` clamps boundary-
+    /// spanning stall attributions to this epoch's window.
+    pub fn collect(&self, epoch_end: Femtos) -> CuEpochStats {
+        // Age ranks among live wavefronts.
+        let mut ages: Vec<(u64, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.active && !w.finished)
+            .map(|(i, w)| (w.age, i))
+            .collect();
+        ages.sort_unstable();
+        let mut rank = vec![u32::MAX; self.slots.len()];
+        for (r, &(_, i)) in ages.iter().enumerate() {
+            rank[i] = r as u32;
+        }
+        let wf = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WfEpochStats {
+                present: w.e_present || w.e_committed > 0,
+                uid: w.uid,
+                age_rank: rank[i],
+                start_pc: crate::isa::pc_of_index(w.e_start_pc_index as usize),
+                start_blocked: w.e_start_blocked,
+                end_pc: w.pc(),
+                kernel_idx: w.kernel_idx,
+                committed: w.e_committed,
+                // Remove any stall tail extending beyond this epoch (it is
+                // re-charged to the next epoch by `begin_epoch`), then
+                // clamp to the epoch window.
+                stall: w
+                    .e_stall
+                    .saturating_sub(w.mem_blocked_until.saturating_sub(epoch_end))
+                    .min(epoch_end.saturating_sub(self.epoch_start)),
+                barrier_stall: w.e_barrier_stall,
+                sched_wait: w.e_sched_wait,
+                lead_time: w.e_lead,
+                finished: w.finished,
+            })
+            .collect();
+        CuEpochStats {
+            freq: self.freq,
+            issue_width: self.issue_width as u32,
+            committed: self.e_committed,
+            busy: self.e_busy,
+            mem_only: self.e_mem_only,
+            store_only: self.e_store_only,
+            idle: self.e_idle,
+            store_stall: self.e_store_stall,
+            lead_time: self.e_lead,
+            l1_hits: self.l1.hits(),
+            l1_misses: self.l1.misses(),
+            active_wavefronts: self.live_wavefronts(),
+            op_mix: self.e_op_mix,
+            wf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AddressPattern, KernelBuilder};
+    use crate::mem::MemConfig;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig { n_cus: 1, wf_slots: 8, ..GpuConfig::default() }
+    }
+
+    fn mem() -> MemSystem {
+        MemSystem::new(MemConfig::default(), 1)
+    }
+
+    fn compute_kernel(wgs: u32, wg_wf: u8) -> Kernel {
+        compute_kernel_trips(wgs, wg_wf, 4)
+    }
+
+    fn compute_kernel_trips(wgs: u32, wg_wf: u8, trips: u16) -> Kernel {
+        let mut b = KernelBuilder::new("compute", wgs, wg_wf, 1);
+        b.begin_loop(trips, 0);
+        b.valu(1, 8);
+        b.end_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn dispatch_fills_slots() {
+        let mut cu = Cu::new(0, &cfg());
+        let k = compute_kernel(1, 4);
+        assert!(cu.try_dispatch_wg(&k, 0, 0, 0, Femtos::ZERO));
+        assert_eq!(cu.live_wavefronts(), 4);
+        // Second wg of 4 fits in 8 slots; third does not.
+        assert!(cu.try_dispatch_wg(&k, 0, 4, 4, Femtos::ZERO));
+        assert!(!cu.try_dispatch_wg(&k, 0, 8, 8, Femtos::ZERO));
+    }
+
+    #[test]
+    fn single_wavefront_executes_to_completion() {
+        let mut cu = Cu::new(0, &cfg());
+        let k = compute_kernel(1, 1);
+        let kernels = vec![k];
+        cu.try_dispatch_wg(&kernels[0], 0, 0, 0, Femtos::ZERO);
+        cu.begin_epoch(Femtos::ZERO);
+        let mut m = mem();
+        let mut done = false;
+        for _ in 0..1000 {
+            if cu.next_cycle == IDLE {
+                done = true;
+                break;
+            }
+            let t = cu.next_cycle;
+            let out = cu.step(t, &mut m, &kernels);
+            if out.workgroups_done > 0 {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "kernel never finished");
+        // 4 iterations x (8 valu + 1 branch) committed.
+        let s = cu.collect(Femtos::from_micros(1));
+        assert_eq!(s.committed, 4 * 9);
+    }
+
+    #[test]
+    fn oldest_first_scheduling_prefers_lower_age() {
+        let mut single = cfg();
+        single.issue_width = 1;
+        let mut cu = Cu::new(0, &single);
+        let k = compute_kernel(2, 1);
+        let kernels = vec![k];
+        cu.try_dispatch_wg(&kernels[0], 0, 0, 5, Femtos::ZERO); // age 5
+        cu.try_dispatch_wg(&kernels[0], 0, 1, 2, Femtos::ZERO); // age 2 (older)
+        cu.begin_epoch(Femtos::ZERO);
+        let mut m = mem();
+        let t = cu.next_cycle;
+        cu.step(t, &mut m, &kernels);
+        // The age-2 wavefront must have issued; age-5 charged sched wait
+        // only if it was ready (it was).
+        let s = cu.collect(Femtos::from_micros(1));
+        let by_age: Vec<_> = s.wf.iter().filter(|w| w.present).collect();
+        let younger = by_age.iter().find(|w| w.age_rank == 1).unwrap();
+        let older = by_age.iter().find(|w| w.age_rank == 0).unwrap();
+        assert_eq!(older.committed, 1);
+        assert_eq!(younger.committed, 0);
+        assert!(younger.sched_wait > Femtos::ZERO);
+    }
+
+    #[test]
+    fn waitcnt_blocks_and_accumulates_stall() {
+        let mut cu = Cu::new(0, &cfg());
+        let mut b = KernelBuilder::new("ld", 1, 1, 7);
+        let p = b.pattern(AddressPattern::Random { base: 0, region: 1 << 26 });
+        b.load(p);
+        b.wait_all_loads();
+        b.valu(1, 1);
+        let kernels = vec![b.finish()];
+        cu.try_dispatch_wg(&kernels[0], 0, 0, 0, Femtos::ZERO);
+        cu.begin_epoch(Femtos::ZERO);
+        let mut m = mem();
+        for _ in 0..100 {
+            if cu.next_cycle == IDLE {
+                break;
+            }
+            let t = cu.next_cycle;
+            cu.step(t, &mut m, &kernels);
+        }
+        let s = cu.collect(Femtos::from_micros(1));
+        let wf = s.wf.iter().find(|w| w.present || w.committed > 0).unwrap();
+        assert!(wf.stall > Femtos::from_nanos(50), "expected a DRAM-scale stall, got {}", wf.stall);
+        assert!(wf.lead_time > Femtos::ZERO);
+        assert!(s.mem_only > Femtos::ZERO, "gap should be classified as memory time");
+    }
+
+    #[test]
+    fn barrier_synchronizes_workgroup() {
+        let mut cu = Cu::new(0, &cfg());
+        let mut b = KernelBuilder::new("bar", 1, 2, 3);
+        b.valu(1, 1);
+        b.barrier();
+        b.valu(1, 1);
+        let kernels = vec![b.finish()];
+        // Make wavefront 0 slower before the barrier by staggering dispatch
+        // readiness: both dispatch together, but scheduler serializes; the
+        // barrier must still release both.
+        cu.try_dispatch_wg(&kernels[0], 0, 0, 0, Femtos::ZERO);
+        cu.begin_epoch(Femtos::ZERO);
+        let mut m = mem();
+        let mut wg_done = false;
+        for _ in 0..100 {
+            if cu.next_cycle == IDLE {
+                break;
+            }
+            let t = cu.next_cycle;
+            if cu.step(t, &mut m, &kernels).workgroups_done > 0 {
+                wg_done = true;
+                break;
+            }
+        }
+        assert!(wg_done, "barrier deadlocked the workgroup");
+    }
+
+    #[test]
+    fn frequency_scales_compute_throughput() {
+        let run = |mhz: u32| -> u64 {
+            let mut cu = Cu::new(0, &cfg());
+            cu.set_frequency(Frequency::from_mhz(mhz));
+            // Enough work that the 1us window ends before the kernel does.
+            let k = compute_kernel_trips(1, 4, 2000);
+            let kernels = vec![k];
+            cu.try_dispatch_wg(&kernels[0], 0, 0, 0, Femtos::ZERO);
+            cu.begin_epoch(Femtos::ZERO);
+            let mut m = mem();
+            let end = Femtos::from_micros(1);
+            while cu.next_cycle != IDLE && cu.next_cycle < end {
+                let t = cu.next_cycle;
+                cu.step(t, &mut m, &kernels);
+            }
+            cu.collect(Femtos::from_micros(1)).committed
+        };
+        let slow = run(1300);
+        let fast = run(2200);
+        // Pure compute: committed scales ~linearly with f (within a cycle).
+        let ratio = fast as f64 / slow as f64;
+        assert!((ratio - 2200.0 / 1300.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn busy_plus_gaps_cover_epoch_for_saturated_cu() {
+        let mut cu = Cu::new(0, &cfg());
+        let k = compute_kernel_trips(1, 4, 2000);
+        let kernels = vec![k];
+        cu.try_dispatch_wg(&kernels[0], 0, 0, 0, Femtos::ZERO);
+        cu.begin_epoch(Femtos::ZERO);
+        let mut m = mem();
+        let end = Femtos::from_micros(1);
+        while cu.next_cycle != IDLE && cu.next_cycle < end {
+            let t = cu.next_cycle;
+            cu.step(t, &mut m, &kernels);
+        }
+        let s = cu.collect(Femtos::from_micros(1));
+        let covered = s.busy + s.mem_only + s.store_only + s.idle;
+        // Saturated compute: busy should dominate and cover ~the epoch.
+        assert!(covered.as_fs() as f64 >= 0.95 * end.as_fs() as f64, "covered {covered}");
+        assert!(s.busy.as_fs() as f64 >= 0.9 * end.as_fs() as f64);
+    }
+}

@@ -1,0 +1,327 @@
+//! Simulation time and clock-frequency primitives.
+//!
+//! All simulated time is tracked in integer **femtoseconds** so that the
+//! simulator is exactly deterministic and cloneable (required by the
+//! fork–pre-execute oracle). Frequencies are tracked in integer **MHz**,
+//! matching the paper's 100 MHz-step V/f states.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in femtoseconds.
+///
+/// One femtosecond granularity keeps clock-period arithmetic for any MHz
+/// frequency exact to better than 0.0002%, which is far below the modeling
+/// noise floor, while `u64` still covers ~5 hours of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::time::Femtos;
+/// let epoch = Femtos::from_micros(1);
+/// assert_eq!(epoch.as_nanos_f64(), 1_000.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Femtos(pub u64);
+
+impl Femtos {
+    /// Zero time.
+    pub const ZERO: Femtos = Femtos(0);
+    /// One nanosecond.
+    pub const NANO: Femtos = Femtos(1_000_000);
+    /// One microsecond.
+    pub const MICRO: Femtos = Femtos(1_000_000_000);
+
+    /// Creates a time span from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Femtos(ns * 1_000_000)
+    }
+
+    /// Creates a time span from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Femtos(us * 1_000_000_000)
+    }
+
+    /// Creates a time span from picoseconds.
+    #[inline]
+    pub const fn from_picos(ps: u64) -> Self {
+        Femtos(ps * 1_000)
+    }
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// This time span expressed in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time span expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time span expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e15
+    }
+
+    /// Saturating subtraction, useful for interval deltas.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0.min(rhs.0))
+    }
+
+    /// Rounds `self` up to the next multiple of `period` measured from
+    /// `origin`. Used to re-align a compute unit to its cycle grid after an
+    /// idle skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[inline]
+    pub fn align_up(self, origin: Femtos, period: Femtos) -> Femtos {
+        assert!(period.0 > 0, "period must be non-zero");
+        if self.0 <= origin.0 {
+            return origin;
+        }
+        let delta = self.0 - origin.0;
+        let cycles = delta.div_ceil(period.0);
+        Femtos(origin.0 + cycles * period.0)
+    }
+}
+
+impl Add for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn add(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Femtos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Femtos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn sub(self, rhs: Femtos) -> Femtos {
+        Femtos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Femtos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Femtos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Femtos {
+        Femtos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Femtos {
+    type Output = Femtos;
+    #[inline]
+    fn div(self, rhs: u64) -> Femtos {
+        Femtos(self.0 / rhs)
+    }
+}
+
+impl Sum for Femtos {
+    fn sum<I: Iterator<Item = Femtos>>(iter: I) -> Femtos {
+        iter.fold(Femtos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Femtos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ns", self.as_nanos_f64())
+        } else {
+            write!(f, "{}fs", self.0)
+        }
+    }
+}
+
+/// A clock frequency in integer MHz.
+///
+/// The paper's V/f states span 1300–2200 MHz at 100 MHz steps; this type
+/// also represents the fixed 1600 MHz memory domain.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::time::Frequency;
+/// let f = Frequency::from_mhz(2000);
+/// assert_eq!(f.period().as_fs(), 500_000); // 0.5 ns
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Frequency(u32);
+
+impl Frequency {
+    /// Creates a frequency from MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    #[inline]
+    pub fn from_mhz(mhz: u32) -> Self {
+        assert!(mhz > 0, "frequency must be non-zero");
+        Frequency(mhz)
+    }
+
+    /// The frequency in MHz.
+    #[inline]
+    pub const fn mhz(self) -> u32 {
+        self.0
+    }
+
+    /// The frequency in GHz as a float.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The frequency in Hz as a float.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        self.0 as f64 * 1e6
+    }
+
+    /// The clock period. `1 MHz == 1_000_000_000 fs`; the integer division
+    /// error is at most 1 fs per cycle.
+    #[inline]
+    pub const fn period(self) -> Femtos {
+        Femtos(1_000_000_000 / self.0 as u64)
+    }
+
+    /// Number of whole cycles of this clock that fit in `span`.
+    #[inline]
+    pub fn cycles_in(self, span: Femtos) -> u64 {
+        span.0 / self.period().0
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.0)
+    }
+}
+
+impl Default for Frequency {
+    /// The paper's reference static frequency, 1.7 GHz.
+    fn default() -> Self {
+        Frequency(1700)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn femtos_constructors_agree() {
+        assert_eq!(Femtos::from_micros(3), Femtos(3_000_000_000));
+        assert_eq!(Femtos::from_nanos(5), Femtos(5_000_000));
+        assert_eq!(Femtos::from_picos(7), Femtos(7_000));
+        assert_eq!(Femtos::MICRO, Femtos::from_micros(1));
+        assert_eq!(Femtos::NANO, Femtos::from_nanos(1));
+    }
+
+    #[test]
+    fn femtos_arithmetic() {
+        let a = Femtos(100);
+        let b = Femtos(40);
+        assert_eq!(a + b, Femtos(140));
+        assert_eq!(a - b, Femtos(60));
+        assert_eq!(b.saturating_sub(a), Femtos::ZERO);
+        assert_eq!(a * 3, Femtos(300));
+        assert_eq!(a / 4, Femtos(25));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn align_up_lands_on_cycle_grid() {
+        let origin = Femtos(1000);
+        let period = Femtos(300);
+        assert_eq!(Femtos(1000).align_up(origin, period), Femtos(1000));
+        assert_eq!(Femtos(1001).align_up(origin, period), Femtos(1300));
+        assert_eq!(Femtos(1300).align_up(origin, period), Femtos(1300));
+        assert_eq!(Femtos(1301).align_up(origin, period), Femtos(1600));
+        assert_eq!(Femtos(500).align_up(origin, period), Femtos(1000));
+    }
+
+    #[test]
+    fn frequency_period_is_exact_for_round_values() {
+        assert_eq!(Frequency::from_mhz(1000).period(), Femtos(1_000_000));
+        assert_eq!(Frequency::from_mhz(2000).period(), Femtos(500_000));
+        assert_eq!(Frequency::from_mhz(1600).period(), Femtos(625_000));
+    }
+
+    #[test]
+    fn frequency_cycles_in_span() {
+        let f = Frequency::from_mhz(1000); // 1 ns period
+        assert_eq!(f.cycles_in(Femtos::from_micros(1)), 1000);
+        assert_eq!(f.cycles_in(Femtos::from_nanos(1)), 1);
+        assert_eq!(f.cycles_in(Femtos(999_999)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = Frequency::from_mhz(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Femtos::from_micros(2).to_string(), "2.000us");
+        assert_eq!(Femtos::from_nanos(2).to_string(), "2.000ns");
+        assert_eq!(Femtos(42).to_string(), "42fs");
+        assert_eq!(Frequency::from_mhz(1700).to_string(), "1700MHz");
+    }
+
+    #[test]
+    fn sum_of_femtos() {
+        let total: Femtos = [Femtos(1), Femtos(2), Femtos(3)].into_iter().sum();
+        assert_eq!(total, Femtos(6));
+    }
+}

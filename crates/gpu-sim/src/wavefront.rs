@@ -1,0 +1,255 @@
+//! Per-wavefront architectural and telemetry state.
+
+use crate::isa::{pc_of_index, Pc};
+use crate::time::Femtos;
+use serde::{Deserialize, Serialize};
+
+/// One wavefront slot's state within a compute unit.
+///
+/// Wavefronts execute in order; asynchronous memory operations are tracked
+/// as absolute completion timestamps in `pending_loads`/`pending_stores`,
+/// which lets `s_waitcnt` blocking be resolved analytically (no response
+/// events are needed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wavefront {
+    /// Whether this slot currently holds a live wavefront.
+    pub active: bool,
+    /// Globally unique id (drives address streams and loop jitter).
+    pub uid: u64,
+    /// Dispatch order; the scheduler picks the smallest age first
+    /// ("oldest-first", the policy the paper attributes contention to).
+    pub age: u64,
+    /// Index into the CU's workgroup table.
+    pub wg_local: u8,
+    /// Which kernel of the app this wavefront executes.
+    pub kernel_idx: u32,
+    /// Current instruction index (PC is `4 *` this).
+    pub pc_index: u32,
+    /// Per-loop iteration counters, sized to the kernel's loop table.
+    pub branch_iters: Vec<u16>,
+    /// Dynamic memory-operation counter (address-stream position).
+    pub mem_counter: u64,
+    /// Completion timestamps of outstanding loads.
+    pub pending_loads: Vec<Femtos>,
+    /// Ack timestamps of outstanding stores.
+    pub pending_stores: Vec<Femtos>,
+    /// Earliest time this wavefront may issue its next instruction.
+    pub wait_until: Femtos,
+    /// Until when the wavefront is blocked on memory (`s_waitcnt`); used to
+    /// attribute boundary-spanning stalls to the right epoch.
+    pub mem_blocked_until: Femtos,
+    /// Whether this wavefront is blocked at a workgroup barrier.
+    pub at_barrier: bool,
+    /// When the wavefront entered the barrier (for stall accounting).
+    pub barrier_since: Femtos,
+    /// Whether the wavefront has executed `EndKernel`.
+    pub finished: bool,
+
+    // ---- per-epoch telemetry (reset by `begin_epoch`) ----
+    /// Instructions committed this epoch.
+    pub e_committed: u32,
+    /// Memory (`s_waitcnt`) stall time accumulated this epoch.
+    pub e_stall: Femtos,
+    /// Barrier stall time accumulated this epoch.
+    pub e_barrier_stall: Femtos,
+    /// Time this epoch spent ready but not selected by the scheduler.
+    pub e_sched_wait: Femtos,
+    /// Leading-load latency accumulated this epoch (wavefront-local).
+    pub e_lead: Femtos,
+    /// PC index at the start of the epoch (PC-table update key).
+    pub e_start_pc_index: u32,
+    /// Whether the wavefront entered the epoch still blocked on memory.
+    pub e_start_blocked: bool,
+    /// Whether the slot held a live wavefront at any point this epoch.
+    pub e_present: bool,
+}
+
+impl Wavefront {
+    /// An empty (inactive) slot.
+    pub fn empty() -> Self {
+        Wavefront {
+            active: false,
+            uid: 0,
+            age: 0,
+            wg_local: 0,
+            kernel_idx: 0,
+            pc_index: 0,
+            branch_iters: Vec::new(),
+            mem_counter: 0,
+            pending_loads: Vec::new(),
+            pending_stores: Vec::new(),
+            wait_until: Femtos::ZERO,
+            mem_blocked_until: Femtos::ZERO,
+            at_barrier: false,
+            barrier_since: Femtos::ZERO,
+            finished: false,
+            e_committed: 0,
+            e_stall: Femtos::ZERO,
+            e_barrier_stall: Femtos::ZERO,
+            e_sched_wait: Femtos::ZERO,
+            e_lead: Femtos::ZERO,
+            e_start_pc_index: 0,
+            e_start_blocked: false,
+            e_present: false,
+        }
+    }
+
+    /// (Re-)initializes the slot for a freshly dispatched wavefront.
+    pub fn dispatch(&mut self, uid: u64, age: u64, wg_local: u8, kernel_idx: u32, n_loops: usize) {
+        self.active = true;
+        self.uid = uid;
+        self.age = age;
+        self.wg_local = wg_local;
+        self.kernel_idx = kernel_idx;
+        self.pc_index = 0;
+        self.branch_iters.clear();
+        self.branch_iters.resize(n_loops, 0);
+        self.mem_counter = 0;
+        self.pending_loads.clear();
+        self.pending_stores.clear();
+        self.mem_blocked_until = Femtos::ZERO;
+        self.at_barrier = false;
+        self.finished = false;
+        self.e_present = true;
+        self.e_start_pc_index = 0;
+    }
+
+    /// Current PC as a byte address.
+    #[inline]
+    pub fn pc(&self) -> Pc {
+        pc_of_index(self.pc_index as usize)
+    }
+
+    /// Whether the wavefront can issue at time `now`.
+    #[inline]
+    pub fn ready(&self, now: Femtos) -> bool {
+        self.active && !self.finished && !self.at_barrier && self.wait_until <= now
+    }
+
+    /// Removes completed loads (completion time ≤ `now`).
+    #[inline]
+    pub fn drain_loads(&mut self, now: Femtos) {
+        self.pending_loads.retain(|&t| t > now);
+    }
+
+    /// Removes acknowledged stores.
+    #[inline]
+    pub fn drain_stores(&mut self, now: Femtos) {
+        self.pending_stores.retain(|&t| t > now);
+    }
+
+    /// The time at which the outstanding-load count drops to `target`
+    /// (assuming the list has already been drained against `now`).
+    /// Returns `now` if already satisfied.
+    pub fn loads_satisfied_at(&mut self, now: Femtos, target: usize) -> Femtos {
+        deadline(&mut self.pending_loads, now, target)
+    }
+
+    /// The time at which the outstanding-store count drops to `target`.
+    pub fn stores_satisfied_at(&mut self, now: Femtos, target: usize) -> Femtos {
+        deadline(&mut self.pending_stores, now, target)
+    }
+
+    /// Resets per-epoch telemetry and records the epoch's starting PC.
+    /// A memory stall still in progress at the boundary is carried into the
+    /// new epoch (its tail was not charged to the previous one).
+    pub fn begin_epoch(&mut self, epoch_start: Femtos) {
+        self.e_committed = 0;
+        self.e_stall = self.mem_blocked_until.saturating_sub(epoch_start);
+        self.e_start_blocked = self.mem_blocked_until > epoch_start;
+        self.e_barrier_stall = Femtos::ZERO;
+        self.e_sched_wait = Femtos::ZERO;
+        self.e_lead = Femtos::ZERO;
+        self.e_start_pc_index = self.pc_index;
+        self.e_present = self.active && !self.finished;
+    }
+}
+
+/// Time at which at most `target` entries of `pending` remain outstanding:
+/// the `(len - target)`-th smallest completion time.
+fn deadline(pending: &mut [Femtos], now: Femtos, target: usize) -> Femtos {
+    if pending.len() <= target {
+        return now;
+    }
+    let k = pending.len() - target; // need k completions
+    pending.sort_unstable();
+    pending[k - 1].max(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_resets_state() {
+        let mut wf = Wavefront::empty();
+        wf.pending_loads.push(Femtos(5));
+        wf.pc_index = 9;
+        wf.finished = true;
+        wf.dispatch(7, 3, 1, 2, 4);
+        assert!(wf.active);
+        assert!(!wf.finished);
+        assert_eq!(wf.pc_index, 0);
+        assert_eq!(wf.branch_iters, vec![0; 4]);
+        assert!(wf.pending_loads.is_empty());
+        assert_eq!(wf.uid, 7);
+        assert_eq!(wf.pc(), 0);
+    }
+
+    #[test]
+    fn readiness_conditions() {
+        let mut wf = Wavefront::empty();
+        wf.dispatch(1, 1, 0, 0, 0);
+        let t = Femtos(100);
+        assert!(wf.ready(t));
+        wf.wait_until = Femtos(200);
+        assert!(!wf.ready(t));
+        wf.wait_until = Femtos(100);
+        assert!(wf.ready(t));
+        wf.at_barrier = true;
+        assert!(!wf.ready(t));
+        wf.at_barrier = false;
+        wf.finished = true;
+        assert!(!wf.ready(t));
+    }
+
+    #[test]
+    fn drain_removes_only_completed() {
+        let mut wf = Wavefront::empty();
+        wf.pending_loads = vec![Femtos(10), Femtos(30), Femtos(20)];
+        wf.drain_loads(Femtos(20));
+        assert_eq!(wf.pending_loads, vec![Femtos(30)]);
+    }
+
+    #[test]
+    fn waitcnt_deadline_kth_completion() {
+        let mut wf = Wavefront::empty();
+        wf.pending_loads = vec![Femtos(50), Femtos(10), Femtos(30)];
+        // Wait until at most 1 outstanding: need 2 completions -> t=30.
+        assert_eq!(wf.loads_satisfied_at(Femtos(5), 1), Femtos(30));
+        // Wait until none outstanding -> t=50.
+        assert_eq!(wf.loads_satisfied_at(Femtos(5), 0), Femtos(50));
+        // Already satisfied.
+        assert_eq!(wf.loads_satisfied_at(Femtos(5), 3), Femtos(5));
+    }
+
+    #[test]
+    fn deadline_clamped_to_now() {
+        let mut wf = Wavefront::empty();
+        wf.pending_stores = vec![Femtos(10)];
+        // Completion in the past (not drained): deadline is `now`.
+        assert_eq!(wf.stores_satisfied_at(Femtos(100), 0), Femtos(100));
+    }
+
+    #[test]
+    fn begin_epoch_snapshots_pc() {
+        let mut wf = Wavefront::empty();
+        wf.dispatch(1, 1, 0, 0, 0);
+        wf.pc_index = 12;
+        wf.e_committed = 55;
+        wf.begin_epoch(Femtos::ZERO);
+        assert_eq!(wf.e_start_pc_index, 12);
+        assert_eq!(wf.e_committed, 0);
+        assert!(wf.e_present);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based invariants of the simulator substrate.
+
+use gpu_sim::cache::{Cache, CacheConfig};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::kernel::{AddressPattern, App, KernelBuilder};
+use gpu_sim::mem::{MemConfig, MemSystem};
+use gpu_sim::time::{Femtos, Frequency};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Memory responses never travel back in time, and per-server FIFO
+    /// order is preserved for same-bank requests.
+    #[test]
+    fn memory_responses_are_causal(
+        addrs in proptest::collection::vec(0u64..(1 << 26), 1..100),
+        base_ns in 0u64..1000,
+    ) {
+        let mut m = MemSystem::new(MemConfig::default(), 2);
+        let period = Frequency::from_mhz(1700).period();
+        let mut last_same_bank: std::collections::HashMap<u64, Femtos> =
+            std::collections::HashMap::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            let now = Femtos::from_nanos(base_ns + i as u64);
+            let out = m.load(0, addr, now, period);
+            prop_assert!(out.complete_at > now, "response before request");
+            // Same line accessed again must not regress behind an earlier
+            // response for that line (FIFO per bank).
+            let line = addr >> 6;
+            if let Some(prev) = last_same_bank.get(&(line % 16)) {
+                prop_assert!(out.complete_at + Femtos::from_nanos(1000) > *prev);
+            }
+            last_same_bank.insert(line % 16, out.complete_at);
+        }
+    }
+
+    /// L2 hit rate for a tiny working set approaches 1 after the cold pass.
+    #[test]
+    fn small_working_set_hits_l2(lines in 1u64..64) {
+        let mut m = MemSystem::new(MemConfig::default(), 1);
+        let period = Frequency::from_mhz(1700).period();
+        let mut t = Femtos::ZERO;
+        // Two passes over `lines` distinct lines.
+        for pass in 0..2 {
+            for l in 0..lines {
+                t += Femtos::from_nanos(5);
+                let out = m.load(0, l * 64, t, period);
+                if pass == 1 {
+                    prop_assert!(out.l2_hit, "second pass must hit L2");
+                }
+            }
+        }
+    }
+
+    /// The cache is inclusive of the last `ways` accesses to one set.
+    #[test]
+    fn lru_keeps_most_recent(ways in 1u32..8) {
+        let cfg = CacheConfig { sets: 1, ways, line_shift: 6 };
+        let mut c = Cache::new(cfg);
+        for i in 0..(ways * 3) as u64 {
+            c.access(i * 64);
+            // The most recent `ways` lines must be resident.
+            let newest = i;
+            let oldest_resident = (i + 1).saturating_sub(ways as u64);
+            for l in oldest_resident..=newest {
+                prop_assert!(c.probe(l * 64), "line {l} evicted too early");
+            }
+        }
+    }
+
+    /// Epoch composition: running N epochs of 1 µs equals one call of N µs
+    /// for machine state (commits, completion, time).
+    #[test]
+    fn epoch_composition_is_exact(trips in 2u16..40, seed in 0u64..1000) {
+        let mut b = KernelBuilder::new("k", 24, 2, seed);
+        let p = b.pattern(AddressPattern::Strided { base: 0, stride: 128, region: 1 << 22 });
+        b.begin_loop(trips, 1);
+        b.load(p);
+        b.wait_all_loads();
+        b.valu(2, 6);
+        b.end_loop();
+        let app = App::new("compose", vec![b.finish()]).unwrap();
+        let mut fine = Gpu::new(GpuConfig::tiny(), app.clone());
+        let mut coarse = Gpu::new(GpuConfig::tiny(), app);
+        let mut fine_committed = 0u64;
+        for _ in 0..8 {
+            fine_committed += fine.run_epoch(Femtos::from_micros(1)).committed_total();
+        }
+        let coarse_committed = coarse.run_epoch(Femtos::from_micros(8)).committed_total();
+        prop_assert_eq!(fine_committed, coarse_committed);
+        prop_assert_eq!(fine.now(), coarse.now());
+        prop_assert_eq!(fine.is_done(), coarse.is_done());
+        prop_assert_eq!(fine.completion_time(), coarse.completion_time());
+    }
+
+    /// Per-epoch busy + gap accounting never exceeds the epoch duration
+    /// (up to one trailing cycle of slack).
+    #[test]
+    fn time_accounting_bounded(seed in 0u64..500, mhz_step in 0u32..10) {
+        let mut b = KernelBuilder::new("k", 16, 2, seed);
+        let p = b.pattern(AddressPattern::Random { base: 0, region: 1 << 24 });
+        b.begin_loop(200, 2);
+        b.load(p);
+        b.wait_all_loads();
+        b.valu(2, 4);
+        b.end_loop();
+        let app = App::new("bound", vec![b.finish()]).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+        let f = Frequency::from_mhz(1300 + mhz_step * 100);
+        let all: Vec<usize> = (0..gpu.n_cus()).collect();
+        gpu.set_frequency_of(&all, f, Femtos::ZERO);
+        let epoch = Femtos::from_micros(1);
+        for _ in 0..5 {
+            let stats = gpu.run_epoch(epoch);
+            for cu in &stats.cus {
+                let covered = cu.busy + cu.mem_only + cu.store_only + cu.idle;
+                prop_assert!(
+                    covered <= epoch + f.period(),
+                    "accounted {covered} exceeds epoch"
+                );
+            }
+        }
+    }
+}

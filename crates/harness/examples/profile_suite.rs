@@ -1,0 +1,62 @@
+//! Prints measured behavioral profiles of the Table II suite (instruction
+//! mix, cache residency, steady-state sensitivity) — useful when tuning or
+//! adding workloads.
+//!
+//! ```sh
+//! cargo run --release --example profile_suite
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::stats::OpMix;
+use gpu_sim::time::{Femtos, Frequency};
+use workloads::{registry, Scale};
+
+fn main() {
+    println!(
+        "{:10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "app", "valu%", "mem%", "L1 hit", "L2 hit", "IPC", "I22/I13"
+    );
+    for w in registry::all() {
+        let app = (w.build)(Scale::Quick);
+        let cfg = GpuConfig::small();
+        let measure = |mhz: u32| {
+            let mut gpu = Gpu::new(cfg, app.clone());
+            let all: Vec<usize> = (0..gpu.n_cus()).collect();
+            gpu.set_frequency_of(&all, Frequency::from_mhz(mhz), Femtos::ZERO);
+            gpu.run_epoch(Femtos::from_micros(4));
+            let mut mix = OpMix::default();
+            let mut committed = 0u64;
+            let mut l1 = (0u64, 0u64);
+            let mut l2 = (0u64, 0u64);
+            let window = 12;
+            for _ in 0..window {
+                let s = gpu.run_epoch(Femtos::from_micros(1));
+                for cu in &s.cus {
+                    mix = mix.merged(&cu.op_mix);
+                    l1.0 += cu.l1_hits;
+                    l1.1 += cu.l1_misses;
+                    committed += cu.committed;
+                }
+                l2.0 += s.mem.l2_hits;
+                l2.1 += s.mem.l2_misses;
+            }
+            (mix, committed, l1, l2, window)
+        };
+        let (mix, c17, l1, l2, window) = measure(1700);
+        let (_, c22, ..) = measure(2200);
+        let (_, c13, ..) = measure(1300);
+        let pct = |h: u64, m: u64| if h + m == 0 { 0.0 } else { 100.0 * h as f64 / (h + m) as f64 };
+        let cycles = 1700.0 * window as f64 * cfg.n_cus as f64;
+        println!(
+            "{:10} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>7.2} {:>8.2}",
+            w.name,
+            100.0 * mix.valu as f64 / mix.total().max(1) as f64,
+            100.0 * mix.memory_fraction(),
+            pct(l1.0, l1.1),
+            pct(l2.0, l2.1),
+            c17 as f64 / cycles,
+            c22 as f64 / c13.max(1) as f64,
+        );
+    }
+}

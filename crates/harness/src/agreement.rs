@@ -1,0 +1,180 @@
+//! Decision-agreement analysis: how often does a design choose the same
+//! V/f state the oracle would have chosen?
+//!
+//! Prediction accuracy (Fig. 14) scores *instruction counts*; what energy
+//! efficiency actually depends on is choosing the right *state*. This
+//! study runs a policy in the loop while, at every epoch, also fork-
+//! sampling the oracle's curve and recording whether the policy's choice
+//! matches the oracle's, and how many states apart they are. It is the
+//! most direct diagnostic of decision quality short of a full ED²P run.
+
+use crate::runner::RunConfig;
+use dvfs::domain::DomainMap;
+use dvfs::objective::SelectionContext;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::kernel::App;
+use gpu_sim::stats::EpochStats;
+use gpu_sim::time::Frequency;
+use pcstall::oracle;
+use pcstall::policy::DecideCtx;
+use power::model::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate agreement between a design's choices and the oracle's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Agreement {
+    /// Domain-epochs where the design chose exactly the oracle's state.
+    pub exact: u64,
+    /// Domain-epochs within one 100 MHz step of the oracle.
+    pub within_one: u64,
+    /// All scored domain-epochs.
+    pub total: u64,
+    /// Sum of |state index difference| (for the mean distance).
+    pub distance_sum: u64,
+}
+
+impl Agreement {
+    /// Fraction of exact matches.
+    pub fn exact_rate(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.exact as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of choices within one state of the oracle's.
+    pub fn within_one_rate(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.within_one as f64 / self.total as f64
+        }
+    }
+
+    /// Mean distance in states from the oracle's choice.
+    pub fn mean_distance(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.distance_sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// Runs `app` under `cfg`'s policy while oracle-sampling every epoch, and
+/// scores how closely the policy's per-domain choices track the oracle's.
+///
+/// Costs one fork–pre-execute sampling round per epoch on top of the
+/// policy itself (11× a plain run), so use short workloads.
+pub fn measure(app: &App, cfg: &RunConfig, max_epochs: usize) -> Agreement {
+    let mut gpu = Gpu::new(cfg.gpu, app.clone());
+    let domains = DomainMap::grouped(cfg.gpu.n_cus, cfg.group);
+    let mut policy = cfg.policy.build();
+    let power = PowerModel::new(cfg.power);
+    let init = Frequency::from_mhz(cfg.gpu.initial_freq_mhz);
+    let mut current: Vec<Frequency> = vec![init; domains.len()];
+    let mut prev_stats: Option<EpochStats> = None;
+    let mut agreement = Agreement::default();
+
+    for _ in 0..max_epochs {
+        if gpu.is_done() {
+            break;
+        }
+        let samples = oracle::sample(&gpu, cfg.epoch.duration, &cfg.states, &domains);
+        let decisions = {
+            let ctx = DecideCtx {
+                stats: prev_stats.as_ref(),
+                gpu: &gpu,
+                domains: &domains,
+                states: &cfg.states,
+                epoch: cfg.epoch,
+                power: &power,
+                objective: cfg.objective,
+                current: &current,
+                samples: if cfg.policy.needs_oracle() { Some(&samples) } else { None },
+            };
+            policy.decide(&ctx)
+        };
+        // What would the oracle have chosen for each domain?
+        for (d, dec) in decisions.iter().enumerate() {
+            let sel = SelectionContext {
+                states: &cfg.states,
+                epoch: cfg.epoch,
+                power: &power,
+                domain_cus: domains.cus(d).len(),
+                issue_width: cfg.gpu.issue_width,
+                total_cus: cfg.gpu.n_cus,
+                current: current[d],
+            };
+            let oracle_choice = cfg.objective.choose(&sel, samples.curve(d, &cfg.states));
+            let oi = cfg.states.index_of(oracle_choice).expect("state in set");
+            let pi = cfg.states.index_of(dec.freq).expect("state in set");
+            let dist = oi.abs_diff(pi) as u64;
+            agreement.total += 1;
+            agreement.distance_sum += dist;
+            if dist == 0 {
+                agreement.exact += 1;
+            }
+            if dist <= 1 {
+                agreement.within_one += 1;
+            }
+        }
+        for (d, dec) in decisions.iter().enumerate() {
+            gpu.set_frequency_of(domains.cus(d), dec.freq, cfg.epoch.transition);
+            current[d] = dec.freq;
+        }
+        prev_stats = Some(gpu.run_epoch(cfg.epoch.duration));
+    }
+    agreement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use pcstall::policy::PolicyKind;
+    use workloads::{by_name, Scale};
+
+    fn quick(policy: PolicyKind) -> RunConfig {
+        let mut cfg = RunConfig::reduced(policy);
+        cfg.gpu = GpuConfig::tiny();
+        cfg
+    }
+
+    #[test]
+    fn oracle_agrees_with_itself() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let a = measure(&app, &quick(PolicyKind::Oracle), 8);
+        assert!(a.total > 0);
+        assert!(
+            a.exact_rate() > 0.95,
+            "oracle must (almost) agree with itself: {}",
+            a.exact_rate()
+        );
+    }
+
+    #[test]
+    fn static_policy_disagrees_on_varied_work() {
+        let app = by_name("hacc", Scale::Quick).unwrap();
+        let a = measure(&app, &quick(PolicyKind::Static(2200)), 8);
+        assert!(a.total > 0);
+        assert!(a.exact_rate() < 0.9, "static should not track the oracle");
+    }
+
+    #[test]
+    fn metrics_nan_on_empty() {
+        let a = Agreement::default();
+        assert!(a.exact_rate().is_nan());
+        assert!(a.within_one_rate().is_nan());
+        assert!(a.mean_distance().is_nan());
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let a = Agreement { exact: 3, within_one: 5, total: 10, distance_sum: 12 };
+        assert!((a.exact_rate() - 0.3).abs() < 1e-12);
+        assert!((a.within_one_rate() - 0.5).abs() < 1e-12);
+        assert!((a.mean_distance() - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Terminal rendering of figure data: sparklines, horizontal bar charts
+//! and multi-series strip charts. Used by the examples to show the paper's
+//! time-series figures (6, 8, 16) without any plotting dependency.
+
+/// Unicode block ramp used by sparklines and bars.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a one-line sparkline, scaled to the data range.
+/// Empty input renders an empty string; a constant series renders at
+/// mid-height.
+///
+/// # Examples
+///
+/// ```
+/// let s = harness::ascii::sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if span <= 1e-12 {
+                RAMP[3]
+            } else {
+                let idx = ((v - lo) / span * 7.0).round() as usize;
+                RAMP[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a labeled horizontal bar chart. Bars are scaled to the maximum
+/// value; each row is `label | bar value`.
+///
+/// # Examples
+///
+/// ```
+/// let rows = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
+/// let out = harness::ascii::bar_chart(&rows, 10);
+/// assert!(out.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = if max <= 1e-12 { 0 } else { ((v / max) * width as f64).round() as usize };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {v:.3}\n",
+            "█".repeat(n),
+            " ".repeat(width.saturating_sub(n)),
+        ));
+    }
+    out.pop();
+    out
+}
+
+/// Renders several series as stacked sparklines with labels — a strip
+/// chart for comparing per-app or per-wavefront time series.
+pub fn strip_chart(series: &[(String, Vec<f64>)]) -> String {
+    let label_w = series.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    series
+        .iter()
+        .map(|(label, vals)| format!("{label:<label_w$} {}", sparkline(vals)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_ramp() {
+        let s = sparkline(&[0.0, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert!(flat.chars().all(|c| c == '▄'));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let rows = vec![("x".to_string(), 2.0), ("long".to_string(), 4.0)];
+        let out = bar_chart(&rows, 8);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let full = lines[1].matches('█').count();
+        let half = lines[0].matches('█').count();
+        assert_eq!(full, 8);
+        assert_eq!(half, 4);
+    }
+
+    #[test]
+    fn bars_handle_zero_max() {
+        let rows = vec![("z".to_string(), 0.0)];
+        let out = bar_chart(&rows, 8);
+        assert!(!out.contains('█'));
+    }
+
+    #[test]
+    fn strip_chart_aligns_labels() {
+        let s = strip_chart(&[
+            ("ab".to_string(), vec![0.0, 1.0]),
+            ("a".to_string(), vec![1.0, 0.0]),
+        ]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Labels padded to the same width.
+        assert_eq!(lines[0].find('▁'), lines[1].find('█'));
+    }
+}

@@ -1,0 +1,35 @@
+//! # harness — the PCSTALL experiment runner
+//!
+//! Reproduces every figure and table of the paper's evaluation:
+//!
+//! * [`runner`] — policy-in-the-loop epoch simulation of one application:
+//!   fork–pre-execute sampling where the design requires it, frequency
+//!   application with transition stalls, energy integration, accuracy
+//!   scoring and residency tracking.
+//! * [`studies`] — the characterization studies (Figures 5–11) built on
+//!   fork-probed sensitivity traces.
+//! * [`sweeps`] — parallel (workload × design) grids.
+//! * [`figures`] — one entry point per paper figure/table, scale-controlled
+//!   by `PCSTALL_FULL`.
+//! * [`report`] — markdown/CSV rendering; [`ascii`] — terminal charts.
+//! * [`agreement`] — decision-agreement analysis against the oracle.
+//!
+//! ```no_run
+//! use harness::figures::{fig14, Preset};
+//! let out = fig14(&Preset::from_env());
+//! println!("{}", out.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agreement;
+pub mod ascii;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod studies;
+pub mod sweeps;
+
+pub use figures::{FigureOutput, Preset};
+pub use runner::{run, RunConfig, RunResult};

@@ -1,0 +1,104 @@
+//! Table rendering helpers for the figure benches and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders a GitHub-flavored markdown table.
+///
+/// # Examples
+///
+/// ```
+/// let t = harness::report::markdown_table(
+///     &["app", "value"],
+///     &[vec!["comd".into(), "1.23".into()]],
+/// );
+/// assert!(t.contains("| comd | 1.23 |"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Writes rows as CSV (simple quoting: fields containing commas or quotes
+/// are quoted with doubled quotes).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let _ = writeln!(out, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    for row in rows {
+        let _ =
+            writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+    }
+    fs::write(path, out)
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", v * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+
+    #[test]
+    fn csv_quotes_fields() {
+        let dir = std::env::temp_dir().join("pcstall_report_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], &[vec!["a,b".into(), "c\"d".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"a,b\""));
+        assert!(content.contains("\"c\"\"d\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f3(f64::NAN), "n/a");
+        assert_eq!(pct(0.3215), "32.1%");
+    }
+}

@@ -1,0 +1,251 @@
+//! The per-application experiment runner: policy-in-the-loop epoch
+//! simulation with energy accounting, accuracy scoring and frequency
+//! residency tracking.
+
+use dvfs::domain::DomainMap;
+use dvfs::epoch::EpochConfig;
+use dvfs::objective::Objective;
+use dvfs::states::FreqStates;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::kernel::App;
+use gpu_sim::stats::EpochStats;
+use gpu_sim::time::Frequency;
+use pcstall::accuracy::AccuracyMeter;
+use pcstall::oracle;
+use pcstall::policy::{DecideCtx, PolicyKind};
+use power::energy::{EnergyAccount, RunMetrics};
+use power::model::{PowerConfig, PowerModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one policy-controlled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// GPU platform.
+    pub gpu: GpuConfig,
+    /// DVFS epoch timing.
+    pub epoch: EpochConfig,
+    /// CUs per V/f domain (1 = the paper's fine-grain default).
+    pub group: usize,
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Candidate frequency states.
+    pub states: FreqStates,
+    /// Power-model parameters.
+    pub power: PowerConfig,
+    /// The design under test.
+    pub policy: PolicyKind,
+    /// Safety cap on simulated epochs.
+    pub max_epochs: usize,
+    /// Optional chip-level power cap (paper Section 5.4): a higher-level
+    /// manager narrows/widens the V/f range at coarse intervals.
+    pub power_cap: Option<dvfs::hierarchy::PowerCapConfig>,
+}
+
+impl RunConfig {
+    /// The paper's standard setup for a given design: 64-CU GPU, per-CU
+    /// domains, 1 µs epochs, ED²P objective.
+    pub fn paper(policy: PolicyKind) -> Self {
+        RunConfig {
+            gpu: GpuConfig::default(),
+            epoch: EpochConfig::paper(1),
+            group: 1,
+            objective: Objective::MinEd2p,
+            states: FreqStates::paper(),
+            power: PowerConfig::default(),
+            policy,
+            max_epochs: 5_000,
+            power_cap: None,
+        }
+    }
+
+    /// Reduced-scale setup (16-CU GPU) for tests and quick benches; the
+    /// uncore power constants scale with the CU count so the energy
+    /// landscape stays representative.
+    pub fn reduced(policy: PolicyKind) -> Self {
+        let gpu = GpuConfig::small();
+        RunConfig {
+            gpu,
+            power: power::model::PowerConfig::scaled_to(gpu.n_cus),
+            ..RunConfig::paper(policy)
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Design name.
+    pub policy: String,
+    /// Application name.
+    pub app: String,
+    /// Final energy/delay metrics.
+    pub metrics: RunMetrics,
+    /// Mean prediction accuracy in [0, 1] (NaN for designs scored on no
+    /// epochs).
+    pub accuracy: f64,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Fraction of domain-epochs spent at each state (aligned with the
+    /// state set; sums to 1).
+    pub freq_residency: Vec<f64>,
+    /// Whether the application ran to completion within the epoch cap.
+    pub completed: bool,
+}
+
+impl RunResult {
+    /// Residency-weighted mean frequency in MHz.
+    pub fn mean_freq_mhz(&self, states: &FreqStates) -> f64 {
+        states
+            .iter()
+            .zip(&self.freq_residency)
+            .map(|(f, &r)| f.mhz() as f64 * r)
+            .sum()
+    }
+}
+
+/// Runs `app` to completion (or the epoch cap) under `cfg`'s policy.
+pub fn run(app: &App, cfg: &RunConfig) -> RunResult {
+    let mut gpu = Gpu::new(cfg.gpu, app.clone());
+    let domains = DomainMap::grouped(cfg.gpu.n_cus, cfg.group);
+    let mut policy = cfg.policy.build();
+    let power = PowerModel::new(cfg.power);
+    let mut acct = EnergyAccount::new(power);
+    let mut meter = AccuracyMeter::new();
+    let init = Frequency::from_mhz(cfg.gpu.initial_freq_mhz);
+    let mut current: Vec<Frequency> = vec![init; domains.len()];
+    let mut residency = vec![0u64; cfg.states.len()];
+    let mut prev_stats: Option<EpochStats> = None;
+    let mut epochs = 0usize;
+    let mut cap_manager = cfg
+        .power_cap
+        .map(|c| dvfs::hierarchy::PowerCapManager::new(c, cfg.states.clone()));
+    let mut allowed = cfg.states.clone();
+
+    while !gpu.is_done() && epochs < cfg.max_epochs {
+        let samples = if cfg.policy.needs_oracle() {
+            Some(oracle::sample(&gpu, cfg.epoch.duration, &allowed, &domains))
+        } else {
+            None
+        };
+        let decisions = {
+            let ctx = DecideCtx {
+                stats: prev_stats.as_ref(),
+                gpu: &gpu,
+                domains: &domains,
+                states: &allowed,
+                epoch: cfg.epoch,
+                power: &power,
+                objective: cfg.objective,
+                current: &current,
+                samples: samples.as_ref(),
+            };
+            policy.decide(&ctx)
+        };
+        for (d, dec) in decisions.iter().enumerate() {
+            gpu.set_frequency_of(domains.cus(d), dec.freq, cfg.epoch.transition);
+            current[d] = dec.freq;
+        }
+        let stats = gpu.run_epoch(cfg.epoch.duration);
+        for (d, dec) in decisions.iter().enumerate() {
+            let a_idx = allowed.index_of(dec.freq).expect("chosen state not in allowed set");
+            meter.observe(dec.predicted[a_idx], stats.committed_in(domains.cus(d)) as f64);
+            let idx = cfg.states.index_of(dec.freq).expect("chosen state not in set");
+            residency[idx] += 1;
+        }
+        let before = acct.energy_j();
+        acct.add_epoch(&stats);
+        if let Some(mgr) = cap_manager.as_mut() {
+            // The higher-level manager observes chip energy at coarse
+            // intervals and adjusts the range the controller may use.
+            mgr.record_epoch(acct.energy_j() - before, cfg.epoch.duration);
+            allowed = mgr.allowed();
+        }
+        prev_stats = Some(stats);
+        epochs += 1;
+    }
+
+    let completed = gpu.is_done();
+    let delay = gpu.completion_time().unwrap_or_else(|| gpu.now());
+    let total: u64 = residency.iter().sum::<u64>().max(1);
+    RunResult {
+        policy: policy.name(),
+        app: app.name.clone(),
+        metrics: acct.finish(delay),
+        accuracy: meter.mean(),
+        epochs,
+        freq_residency: residency.iter().map(|&r| r as f64 / total as f64).collect(),
+        completed,
+    }
+}
+
+/// Runs the static-1.7 GHz baseline every paper figure normalizes against.
+pub fn run_static_baseline(app: &App, cfg: &RunConfig) -> RunResult {
+    let mut base_cfg = cfg.clone();
+    base_cfg.policy = PolicyKind::Static(1700);
+    run(app, &base_cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcstall::estimators::CuEstimator;
+    use pcstall::policy::PcStallConfig;
+    use workloads::{by_name, Scale};
+
+    fn quick_cfg(policy: PolicyKind) -> RunConfig {
+        let mut cfg = RunConfig::paper(policy);
+        cfg.gpu = GpuConfig::tiny();
+        cfg.max_epochs = 40;
+        cfg
+    }
+
+    #[test]
+    fn static_run_has_single_state_residency() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let r = run(&app, &quick_cfg(PolicyKind::Static(1700)));
+        let idx = FreqStates::paper().index_of(Frequency::from_mhz(1700)).unwrap();
+        assert!((r.freq_residency[idx] - 1.0).abs() < 1e-12);
+        assert!(r.metrics.energy_j > 0.0);
+        assert!(r.epochs > 0);
+    }
+
+    #[test]
+    fn residency_sums_to_one() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let r = run(&app, &quick_cfg(PolicyKind::Reactive(CuEstimator::Crisp)));
+        let sum: f64 = r.freq_residency.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcstall_runs_and_scores_accuracy() {
+        let app = by_name("hacc", Scale::Quick).unwrap();
+        let r = run(&app, &quick_cfg(PolicyKind::PcStall(PcStallConfig::default())));
+        assert!(r.accuracy.is_finite());
+        assert!(r.accuracy > 0.3, "accuracy suspiciously low: {}", r.accuracy);
+    }
+
+    #[test]
+    fn oracle_accuracy_is_near_perfect() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let r = run(&app, &quick_cfg(PolicyKind::Oracle));
+        assert!(r.accuracy > 0.9, "oracle accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn memory_bound_app_clocks_lower_than_compute_bound() {
+        let states = FreqStates::paper();
+        let xs = run(
+            &by_name("xsbench", Scale::Quick).unwrap(),
+            &quick_cfg(PolicyKind::Oracle),
+        );
+        let dg = run(&by_name("dgemm", Scale::Quick).unwrap(), &quick_cfg(PolicyKind::Oracle));
+        assert!(
+            xs.mean_freq_mhz(&states) < dg.mean_freq_mhz(&states),
+            "xsbench {} vs dgemm {}",
+            xs.mean_freq_mhz(&states),
+            dg.mean_freq_mhz(&states)
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! Measurement studies behind the paper's characterization figures
+//! (Figures 5–11): fork-probed sensitivity traces and their
+//! post-processing.
+//!
+//! All studies run the application at the static 1.7 GHz baseline and, at
+//! every epoch boundary, fork probe copies to measure that epoch's true
+//! frequency response from identical starting conditions.
+
+use dvfs::states::FreqStates;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::isa::Pc;
+use gpu_sim::kernel::App;
+use gpu_sim::time::Femtos;
+use pcstall::oracle;
+use pcstall::estimators::WfStallEstimator;
+use pcstall::sensitivity::fit_line;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+
+/// Relative change between two sensitivity observations, with a magnitude
+/// floor: pairs where both values are below `floor` carry no phase-change
+/// signal (an idle or fully memory-bound wavefront staying that way) and
+/// are skipped; otherwise the denominator is floored so instruction-count
+/// quantization noise on near-zero sensitivities cannot dominate the
+/// average.
+fn floored_change(prev: f64, cur: f64, floor: f64) -> Option<f64> {
+    if prev.abs() < floor && cur.abs() < floor {
+        return None;
+    }
+    let denom = ((prev.abs() + cur.abs()) / 2.0).max(floor);
+    Some((cur - prev).abs() / denom)
+}
+
+/// Average of [`floored_change`] over consecutive values of a series.
+fn avg_floored_change(series: &[f64], floor: f64) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for w in series.windows(2) {
+        if let Some(c) = floored_change(w[0], w[1], floor) {
+            total += c;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// One wavefront's probe measurement for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WfProbe {
+    /// Whether the slot held a live wavefront.
+    pub present: bool,
+    /// Age rank at the epoch end (0 = oldest / highest priority).
+    pub age_rank: u32,
+    /// PC at the epoch start.
+    pub start_pc: Pc,
+    /// Wavefront sensitivity ΔI/Δf (instructions per MHz).
+    pub sensitivity: f64,
+    /// Scheduling-contention fraction (ready-but-not-issued time share),
+    /// used for the paper's age normalization when entries are shared.
+    pub contention: f64,
+}
+
+/// A per-epoch sensitivity trace of an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSeries {
+    /// Epoch duration used.
+    pub epoch: Femtos,
+    /// Per-epoch, per-CU sensitivity (instructions per MHz).
+    pub cu_sens: Vec<Vec<f64>>,
+    /// Per-epoch, per-CU, per-slot wavefront probes.
+    pub wf: Vec<Vec<Vec<WfProbe>>>,
+}
+
+/// Probes `app` for up to `max_epochs` epochs of `epoch` duration. The real
+/// run proceeds at the platform's initial (1.7 GHz) frequency.
+///
+/// CU-level sensitivity is *ground truth*: measured by differencing
+/// low/high-frequency forks from identical starting conditions. Per-
+/// wavefront sensitivity is measured with the wavefront-level STALL
+/// estimator on the real epoch's telemetry — at 1 µs a single wavefront
+/// commits only a few dozen instructions, so fork-differencing per
+/// wavefront is dominated by instruction-count quantization noise, whereas
+/// the stall-time fraction is a smooth signal (and is also exactly the
+/// quantity the PC table stores).
+pub fn probe_series(app: &App, gpu_cfg: &GpuConfig, epoch: Femtos, max_epochs: usize) -> ProbeSeries {
+    let states = FreqStates::paper();
+    let df = (states.max().mhz() - states.min().mhz()) as f64;
+    let est = WfStallEstimator::default();
+    let mut gpu = Gpu::new(*gpu_cfg, app.clone());
+    let mut cu_sens = Vec::new();
+    let mut wf = Vec::new();
+    for _ in 0..max_epochs {
+        if gpu.is_done() {
+            break;
+        }
+        let (lo, hi) = oracle::probe_two_point(&gpu, epoch, &states);
+        let mut epoch_cu = Vec::with_capacity(gpu.n_cus());
+        for c in 0..gpu.n_cus() {
+            epoch_cu.push((hi.cus[c].committed as f64 - lo.cus[c].committed as f64) / df);
+        }
+        cu_sens.push(epoch_cu);
+        let stats = gpu.run_epoch(epoch);
+        let epoch_wf = stats
+            .cus
+            .iter()
+            .map(|cu| {
+                cu.wf
+                    .iter()
+                    .map(|w| WfProbe {
+                        present: w.present && w.committed > 0,
+                        age_rank: w.age_rank,
+                        start_pc: w.start_pc,
+                        sensitivity: est
+                            .estimate(w, cu.freq, epoch)
+                            .linearize(states.min(), states.max())
+                            .s,
+                        contention: est.contention(w, epoch),
+                    })
+                    .collect()
+            })
+            .collect();
+        wf.push(epoch_wf);
+    }
+    ProbeSeries { epoch, cu_sens, wf }
+}
+
+impl ProbeSeries {
+    /// Number of probed epochs.
+    pub fn epochs(&self) -> usize {
+        self.cu_sens.len()
+    }
+
+    /// The sensitivity time series of one CU (paper Fig. 6).
+    pub fn cu_trace(&self, cu: usize) -> Vec<f64> {
+        self.cu_sens.iter().map(|e| e[cu]).collect()
+    }
+
+    /// Magnitude floor for CU-level change metrics: a quarter of the mean
+    /// absolute CU sensitivity across the series.
+    pub fn cu_floor(&self) -> f64 {
+        let all: Vec<f64> = self.cu_sens.iter().flatten().map(|s| s.abs()).collect();
+        if all.is_empty() {
+            return 1e-9;
+        }
+        (0.25 * all.iter().sum::<f64>() / all.len() as f64).max(1e-9)
+    }
+
+    /// Magnitude floor for wavefront-level change metrics: a quarter of the
+    /// mean absolute wavefront sensitivity across present wavefronts.
+    pub fn wf_floor(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for epoch in &self.wf {
+            for slots in epoch {
+                for w in slots {
+                    if w.present {
+                        sum += w.sensitivity.abs();
+                        n += 1;
+                    }
+                }
+            }
+        }
+        if n == 0 {
+            return 1e-9;
+        }
+        (0.25 * sum / n as f64).max(1e-9)
+    }
+
+    /// Average relative sensitivity change across consecutive epochs, over
+    /// all CUs (paper Fig. 7a).
+    pub fn epoch_to_epoch_variability(&self) -> f64 {
+        if self.cu_sens.is_empty() {
+            return 0.0;
+        }
+        let floor = self.cu_floor();
+        let n_cus = self.cu_sens[0].len();
+        let per_cu: Vec<f64> =
+            (0..n_cus).map(|c| avg_floored_change(&self.cu_trace(c), floor)).collect();
+        per_cu.iter().sum::<f64>() / n_cus.max(1) as f64
+    }
+
+    /// The per-wavefront sensitivity trace of one CU (paper Fig. 8):
+    /// `[epoch][slot]`.
+    pub fn wavefront_traces(&self, cu: usize) -> Vec<Vec<f64>> {
+        self.wf
+            .iter()
+            .map(|e| e[cu].iter().map(|w| if w.present { w.sensitivity } else { 0.0 }).collect())
+            .collect()
+    }
+
+    /// Average relative change of each epoch's **CU sensitivity** when
+    /// reconstructed from the most recent *same-PC* wavefront observations
+    /// at a given table-sharing scope — the paper's Figure 10 quantity.
+    /// `offset_bits` is the PC index shift (Fig. 11b sweeps it).
+    ///
+    /// For every epoch, each wavefront's sensitivity is predicted by the
+    /// last observation recorded for its starting-PC entry (falling back to
+    /// the wavefront's own previous value on a cold entry); per-CU sums of
+    /// these predictions are compared to the actual per-CU sums.
+    pub fn same_pc_iteration_change(&self, scope: PcScope, offset_bits: u32) -> f64 {
+        self.cu_reconstruction_error(Some((scope, offset_bits)))
+    }
+
+    /// Same metric as [`ProbeSeries::same_pc_iteration_change`] but with a
+    /// pure last-value (reactive) per-wavefront predictor — the
+    /// consecutive-epoch baseline the paper's Figure 7/10 comparison draws.
+    pub fn last_value_change(&self) -> f64 {
+        self.cu_reconstruction_error(None)
+    }
+
+    fn cu_reconstruction_error(&self, pc_scope: Option<(PcScope, u32)>) -> f64 {
+        // Floor from the distribution of actual per-CU wavefront-sum
+        // sensitivities.
+        let mut actual_sums = Vec::new();
+        for epoch in &self.wf {
+            for slots in epoch {
+                let sum: f64 =
+                    slots.iter().filter(|w| w.present).map(|w| w.sensitivity).sum();
+                actual_sums.push(sum.abs());
+            }
+        }
+        if actual_sums.is_empty() {
+            return 0.0;
+        }
+        let floor =
+            (0.25 * actual_sums.iter().sum::<f64>() / actual_sums.len() as f64).max(1e-9);
+
+        let mut table: HashMap<(u64, Pc), f64> = HashMap::new();
+        let mut last_wf: HashMap<u64, f64> = HashMap::new();
+        let mut last_cont: HashMap<u64, f64> = HashMap::new();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (e, epoch) in self.wf.iter().enumerate() {
+            for (cu, slots) in epoch.iter().enumerate() {
+                let mut predicted = 0.0;
+                let mut actual = 0.0;
+                let mut covered = 0usize;
+                for (slot, w) in slots.iter().enumerate() {
+                    if !w.present {
+                        continue;
+                    }
+                    let wf_key = (cu as u64) << 16 | slot as u64;
+                    let lookup = match pc_scope {
+                        Some((scope, offset_bits)) => {
+                            let scope_key = match scope {
+                                PcScope::Wavefront => wf_key,
+                                PcScope::Cu => cu as u64,
+                                PcScope::Gpu => 0,
+                            };
+                            // Entries store contention-neutral values; the
+                            // looking-up wavefront re-applies its own most
+                            // recent contention (the paper's age
+                            // normalization).
+                            let cont = last_cont.get(&wf_key).copied().unwrap_or(0.0);
+                            table
+                                .get(&(scope_key, w.start_pc >> offset_bits))
+                                .map(|&v| v * (1.0 - cont))
+                                .or_else(|| last_wf.get(&wf_key).copied())
+                        }
+                        None => last_wf.get(&wf_key).copied(),
+                    };
+                    if let Some(pred) = lookup {
+                        predicted += pred;
+                        covered += 1;
+                    }
+                    actual += w.sensitivity;
+                }
+                if e > 0 && covered > 0 {
+                    if let Some(c) = floored_change(predicted, actual, floor) {
+                        total += c;
+                        count += 1;
+                    }
+                }
+                // Record this epoch's observations for future predictions.
+                for (slot, w) in slots.iter().enumerate() {
+                    if !w.present {
+                        continue;
+                    }
+                    let wf_key = (cu as u64) << 16 | slot as u64;
+                    if let Some((scope, offset_bits)) = pc_scope {
+                        let scope_key = match scope {
+                            PcScope::Wavefront => wf_key,
+                            PcScope::Cu => cu as u64,
+                            PcScope::Gpu => 0,
+                        };
+                        let neutral = w.sensitivity / (1.0 - w.contention).max(0.05);
+                        table.insert((scope_key, w.start_pc >> offset_bits), neutral);
+                    }
+                    last_wf.insert(wf_key, w.sensitivity);
+                    last_cont.insert(wf_key, w.contention);
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Average relative change between consecutive epochs of the *same
+    /// wavefront slot*, bucketed by age rank (paper Fig. 11a): index 0 is
+    /// the oldest (highest-priority) wavefront.
+    pub fn change_by_age_rank(&self, max_rank: usize) -> Vec<f64> {
+        let floor = self.wf_floor();
+        let mut sums = vec![0.0; max_rank];
+        let mut counts = vec![0usize; max_rank];
+        let mut last: HashMap<(u64, Pc), (u32, f64)> = HashMap::new();
+        for epoch in &self.wf {
+            for (cu, slots) in epoch.iter().enumerate() {
+                for (slot, w) in slots.iter().enumerate() {
+                    if !w.present {
+                        continue;
+                    }
+                    let key = ((cu as u64) << 16 | slot as u64, w.start_pc >> 4);
+                    if let Some((_, prev)) = last.insert(key, (w.age_rank, w.sensitivity)) {
+                        let rank = (w.age_rank as usize).min(max_rank - 1);
+                        if let Some(c) = floored_change(prev, w.sensitivity, floor) {
+                            sums[rank] += c;
+                            counts[rank] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        sums.iter().zip(&counts).map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 }).collect()
+    }
+}
+
+/// PC-table sharing scopes studied in paper Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PcScope {
+    /// Entries private to one wavefront slot.
+    Wavefront,
+    /// Shared across a CU's wavefronts (the paper's design point).
+    Cu,
+    /// Shared across the whole GPU.
+    Gpu,
+}
+
+/// The Figure 5 linearity study: exhaustively samples `n_samples` epochs at
+/// every state and reports the per-CU (frequency, instructions) curves and
+/// the mean linear-fit R².
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearityResult {
+    /// Sampled curves: `[sample][state] = (f_mhz, instructions)` for one CU.
+    pub curves: Vec<Vec<(f64, f64)>>,
+    /// Mean R² of per-curve linear fits (paper reports 0.82 on average).
+    pub mean_r2: f64,
+}
+
+/// Runs the Fig. 5 study on `app`: epochs are sampled every
+/// `sample_stride` epochs; each sampled epoch is exhaustively forked over
+/// all states, and one active CU's curve is recorded per sample.
+pub fn linearity_study(
+    app: &App,
+    gpu_cfg: &GpuConfig,
+    epoch: Femtos,
+    n_samples: usize,
+    sample_stride: usize,
+) -> LinearityResult {
+    let states = FreqStates::paper();
+    let mut gpu = Gpu::new(*gpu_cfg, app.clone());
+    let mut curves = Vec::new();
+    let mut epoch_idx = 0usize;
+    while curves.len() < n_samples && !gpu.is_done() && epoch_idx < n_samples * sample_stride * 4 {
+        if epoch_idx % sample_stride == 0 {
+            let all = oracle::sample_uniform(&gpu, epoch, &states);
+            // Record the busiest CU's curve for this sample.
+            let busiest = (0..gpu.n_cus())
+                .max_by_key(|&c| all.iter().map(|s| s.cus[c].committed).sum::<u64>())
+                .unwrap_or(0);
+            let curve: Vec<(f64, f64)> = states
+                .iter()
+                .zip(&all)
+                .map(|(f, s)| (f.mhz() as f64, s.cus[busiest].committed as f64))
+                .collect();
+            if curve.iter().any(|&(_, y)| y > 0.0) {
+                curves.push(curve);
+            }
+        }
+        gpu.run_epoch(epoch);
+        epoch_idx += 1;
+    }
+    let r2s: Vec<f64> = curves.iter().map(|c| fit_line(c).1).collect();
+    let mean_r2 = if r2s.is_empty() { 0.0 } else { r2s.iter().sum::<f64>() / r2s.len() as f64 };
+    LinearityResult { curves, mean_r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{by_name, Scale};
+
+    fn series(name: &str, epochs: usize) -> ProbeSeries {
+        let app = by_name(name, Scale::Quick).unwrap();
+        probe_series(&app, &GpuConfig::tiny(), Femtos::from_micros(1), epochs)
+    }
+
+    #[test]
+    fn probe_series_has_expected_shape() {
+        let s = series("comd", 6);
+        assert!(s.epochs() > 0);
+        assert_eq!(s.cu_sens[0].len(), GpuConfig::tiny().n_cus);
+        assert_eq!(s.wf[0][0].len(), GpuConfig::tiny().wf_slots);
+    }
+
+    #[test]
+    fn compute_bound_sensitivity_exceeds_memory_bound() {
+        let dg = series("dgemm", 6);
+        let xs = series("xsbench", 6);
+        let mean = |s: &ProbeSeries| {
+            let all: Vec<f64> = s.cu_sens.iter().flatten().copied().collect();
+            all.iter().sum::<f64>() / all.len() as f64
+        };
+        assert!(
+            mean(&dg) > 2.0 * mean(&xs).max(0.01),
+            "dgemm {} vs xsbench {}",
+            mean(&dg),
+            mean(&xs)
+        );
+    }
+
+    #[test]
+    fn same_pc_change_below_epoch_change() {
+        // The paper's core observation (Fig. 10 vs Fig. 7): same-PC
+        // iterations vary far less than consecutive epochs.
+        let s = series("hacc", 20);
+        let epoch_var = s.epoch_to_epoch_variability();
+        let pc_wf = s.same_pc_iteration_change(PcScope::Wavefront, 4);
+        assert!(
+            pc_wf < epoch_var,
+            "PC-based reconstruction ({pc_wf}) must be more stable than raw \
+             consecutive-epoch sensitivity ({epoch_var})"
+        );
+        // Wavefront-private entries must be at least about as stable as a
+        // pure last-value predictor (they degenerate to it on cold
+        // entries); shared scopes trade some accuracy for storage.
+        let last_value = s.last_value_change();
+        assert!(
+            pc_wf < 1.5 * last_value + 0.05,
+            "WF-scope PC prediction ({pc_wf}) should track last-value ({last_value})"
+        );
+    }
+
+    #[test]
+    fn linearity_study_produces_good_fits() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let r = linearity_study(&app, &GpuConfig::tiny(), Femtos::from_micros(1), 3, 2);
+        assert!(!r.curves.is_empty());
+        assert!(r.mean_r2 > 0.5, "R² = {}", r.mean_r2);
+    }
+
+    #[test]
+    fn age_rank_buckets_fill() {
+        let s = series("quickS", 10);
+        let by_rank = s.change_by_age_rank(8);
+        assert_eq!(by_rank.len(), 8);
+        assert!(by_rank.iter().any(|&v| v > 0.0), "no rank bucket populated");
+    }
+}

@@ -1,0 +1,112 @@
+//! Parallel suite execution: (workload × design) grids, epoch-duration
+//! sweeps and V/f-domain-granularity sweeps.
+
+use crate::runner::{run, RunConfig, RunResult};
+use crossbeam::channel;
+use gpu_sim::kernel::App;
+use pcstall::policy::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// One cell of a suite grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteCell {
+    /// Application name.
+    pub app: String,
+    /// Design name.
+    pub policy: String,
+    /// The run outcome.
+    pub result: RunResult,
+}
+
+/// Runs every `(app, policy)` pair, load-balanced over `threads` workers.
+/// Results preserve grid order (apps outer, policies inner).
+pub fn run_grid(
+    apps: &[App],
+    policies: &[PolicyKind],
+    base: &RunConfig,
+    threads: usize,
+) -> Vec<SuiteCell> {
+    let jobs: Vec<(usize, &App, PolicyKind)> = apps
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, app)| {
+            policies
+                .iter()
+                .enumerate()
+                .map(move |(pi, &p)| (ai * policies.len() + pi, app, p))
+        })
+        .collect();
+    let (tx_job, rx_job) = channel::unbounded();
+    for job in &jobs {
+        tx_job.send(*job).expect("queue send");
+    }
+    drop(tx_job);
+    let (tx_res, rx_res) = channel::unbounded();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let rx_job = rx_job.clone();
+            let tx_res = tx_res.clone();
+            scope.spawn(move || {
+                while let Ok((idx, app, policy)) = rx_job.recv() {
+                    let cfg = RunConfig { policy, ..base.clone() };
+                    let result = run(app, &cfg);
+                    tx_res
+                        .send((idx, SuiteCell { app: app.name.clone(), policy: policy.name(), result }))
+                        .expect("result send");
+                }
+            });
+        }
+        drop(tx_res);
+        let mut out: Vec<Option<SuiteCell>> = vec![None; jobs.len()];
+        for (idx, cell) in rx_res {
+            out[idx] = Some(cell);
+        }
+        out.into_iter().map(|c| c.expect("missing grid cell")).collect()
+    })
+}
+
+/// Default worker count: physical parallelism capped at 8 (each worker
+/// simulates a whole GPU; memory stays modest).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use pcstall::estimators::CuEstimator;
+    use workloads::{by_name, Scale};
+
+    #[test]
+    fn grid_preserves_order_and_runs_all_cells() {
+        let apps =
+            vec![by_name("comd", Scale::Quick).unwrap(), by_name("dgemm", Scale::Quick).unwrap()];
+        let policies =
+            vec![PolicyKind::Static(1700), PolicyKind::Reactive(CuEstimator::Stall)];
+        let mut base = RunConfig::paper(PolicyKind::Static(1700));
+        base.gpu = GpuConfig::tiny();
+        base.max_epochs = 10;
+        let grid = run_grid(&apps, &policies, &base, 4);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].app, "comd");
+        assert_eq!(grid[0].policy, "STATIC-1700");
+        assert_eq!(grid[1].policy, "STALL");
+        assert_eq!(grid[2].app, "dgemm");
+        for cell in &grid {
+            assert!(cell.result.epochs > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let apps = vec![by_name("comd", Scale::Quick).unwrap()];
+        let policies = vec![PolicyKind::Reactive(CuEstimator::Crisp)];
+        let mut base = RunConfig::paper(PolicyKind::Static(1700));
+        base.gpu = GpuConfig::tiny();
+        base.max_epochs = 8;
+        let a = run_grid(&apps, &policies, &base, 1);
+        let b = run_grid(&apps, &policies, &base, 4);
+        assert_eq!(a, b, "simulation must be deterministic across thread counts");
+    }
+}

@@ -1,0 +1,35 @@
+//! # power — voltage, power, energy and ED^nP metrics for the PCSTALL
+//! reproduction
+//!
+//! Implements the paper's power-model role: a V(f) operating curve over the
+//! 1.3–2.2 GHz DVFS range, an analytic per-CU dynamic + leakage model behind
+//! a configurable IVR efficiency model, fixed-domain (uncore) power with a
+//! DRAM-bandwidth term, per-run energy integration, and the Table I
+//! hardware storage-overhead accounting.
+//!
+//! ```
+//! use power::prelude::*;
+//! use gpu_sim::time::Frequency;
+//!
+//! let model = PowerModel::default();
+//! // A saturated 4-wide CU at each frequency:
+//! let p_slow = model.cu_power_w(Frequency::from_mhz(1300), 1.3e9 * 4.0);
+//! let p_fast = model.cu_power_w(Frequency::from_mhz(2200), 2.2e9 * 4.0);
+//! assert!(p_fast > p_slow * 2.0); // V^2 f scaling
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod model;
+pub mod storage;
+pub mod vf;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::energy::{geomean, EnergyAccount, RunMetrics};
+    pub use crate::model::{PowerConfig, PowerModel};
+    pub use crate::storage::{table1, StorageOverhead};
+    pub use crate::vf::{IvrModel, VfCurve};
+}

@@ -1,0 +1,586 @@
+//! The sixteen Table II application builders.
+//!
+//! Address-space layout: every pattern gets a distinct base in a flat 48-bit
+//! space; regions are sized relative to the memory hierarchy (L1 16 KiB/CU,
+//! L2 4 MiB, DRAM unbounded) to hit the residency the real app exhibits.
+
+use crate::registry::Scale;
+use gpu_sim::kernel::{AddressPattern, App, Kernel, KernelBuilder};
+
+const MB: u64 = 1 << 20;
+const KB: u64 = 1 << 10;
+
+fn app(name: &str, kernels: Vec<Kernel>) -> App {
+    App::new(name, kernels).expect("workload builder produced an invalid app")
+}
+
+/// Generic loop kernel: `trips x { n_loads loads, waitcnt, n_valu VALU }`
+/// with an optional store per iteration. The workhorse for multi-kernel
+/// apps whose kernels differ mainly in compute/memory balance.
+#[allow(clippy::too_many_arguments)]
+fn phase_kernel(
+    name: &str,
+    wgs: u32,
+    seed: u64,
+    pattern: AddressPattern,
+    trips: u16,
+    n_loads: usize,
+    n_valu: usize,
+    store: bool,
+) -> Kernel {
+    let mut b = KernelBuilder::new(name, wgs, 4, seed);
+    let p = b.pattern(pattern);
+    b.begin_loop(trips, 0);
+    for _ in 0..n_loads {
+        b.load(p);
+    }
+    if n_loads > 0 {
+        b.wait_all_loads();
+    }
+    b.valu(2, n_valu);
+    if store {
+        b.store(p);
+    }
+    b.end_loop();
+    if store {
+        b.waitcnt_st(0);
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------------
+// HPC applications (ECP proxies)
+// ---------------------------------------------------------------------------
+
+/// `comd` — classical molecular dynamics (Lennard-Jones force kernel).
+/// Profile: neighbor-list gathers (irregular, medium footprint) feeding a
+/// substantial force computation; mixed compute/memory epochs. This is the
+/// paper's Figure 5 linearity example.
+pub fn comd(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("comd_force", scale.workgroups(432), 4, 0xC0_4D);
+    let neigh = b.pattern(AddressPattern::Random { base: 0x1000_0000, region: 8 * MB });
+    let pos = b.pattern(AddressPattern::Strided { base: 0x2000_0000, stride: 192, region: 16 * MB });
+    let force = b.pattern(AddressPattern::Strided { base: 0x3000_0000, stride: 64, region: 16 * MB });
+    b.begin_loop(scale.trips(54), 2); // atoms per wavefront
+    // Gather phase (~multi-epoch, memory-bound): walk the neighbor list.
+    b.begin_loop(6, 0);
+    b.load(neigh);
+    b.load(pos);
+    b.load(pos);
+    b.waitcnt_vm(2);
+    b.valu(2, 2);
+    b.end_loop();
+    b.wait_all_loads();
+    // Force phase (~multi-epoch, compute-bound): pair force evaluation.
+    b.begin_loop(4, 0);
+    b.valu(2, 40);
+    b.end_loop();
+    b.store(force);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("comd", vec![b.finish()])
+}
+
+/// `hpgmg` — full multigrid: streaming stencil sweeps over grids far larger
+/// than L2; persistently memory-bandwidth-bound (paper Fig. 16 keeps it at
+/// low frequencies).
+pub fn hpgmg(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("hpgmg_smooth", scale.workgroups(432), 4, 0x46_16);
+    let grid = b.pattern(AddressPattern::Stream { base: 0x4000_0000, region: 256 * MB });
+    let out = b.pattern(AddressPattern::Stream { base: 0x6000_0000, region: 256 * MB });
+    b.begin_loop(scale.trips(360), 0); // grid points
+    for _ in 0..6 {
+        b.load(grid); // 7-point stencil neighbours (one reused)
+    }
+    b.waitcnt_vm(1);
+    b.valu(2, 7);
+    b.wait_all_loads();
+    b.valu(2, 2);
+    b.store(out);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("hpgmg", vec![b.finish()])
+}
+
+/// `lulesh` — shock hydrodynamics with **27 unique kernels** spanning the
+/// full compute/memory spectrum; its kernel-boundary phase changes stress
+/// reactive predictors.
+pub fn lulesh(scale: Scale) -> App {
+    let kernels = (0..27u64)
+        .map(|i| {
+            // Sweep the balance deterministically across kernels:
+            // i = 0 -> compute heavy, i = 26 -> memory heavy.
+            let memfrac = i as f64 / 26.0;
+            let n_loads = 1 + (memfrac * 5.0).round() as usize;
+            let n_valu = 8 + ((1.0 - memfrac) * 56.0).round() as usize;
+            let region = (4 + 12 * i) * MB;
+            phase_kernel(
+                &format!("lulesh_k{i:02}"),
+                scale.workgroups(32),
+                0x10_1E_50 + i,
+                AddressPattern::Strided {
+                    base: 0x8000_0000 + i * 0x400_0000,
+                    stride: 128,
+                    region,
+                },
+                scale.trips(180),
+                n_loads,
+                n_valu,
+                i % 3 == 0,
+            )
+        })
+        .collect();
+    app("lulesh", kernels)
+}
+
+/// `minife` — finite elements: 3 kernels (SpMV, dot product, axpy). SpMV's
+/// irregular gathers dominate; the dot/axpy phases are short and regular.
+pub fn minife(scale: Scale) -> App {
+    let spmv = {
+        let mut b = KernelBuilder::new("minife_spmv", scale.workgroups(256), 4, 0x31_F1);
+        let cols = b.pattern(AddressPattern::Random { base: 0x1_0000_0000, region: 48 * MB });
+        let vals = b.pattern(AddressPattern::Stream { base: 0x1_4000_0000, region: 48 * MB });
+        b.begin_loop(scale.trips(240), 4); // rows (jitter = irregular row lengths)
+        b.load(vals);
+        b.load(cols);
+        b.waitcnt_vm(0);
+        b.valu(2, 5);
+        b.end_loop();
+        b.finish()
+    };
+    let dot = phase_kernel(
+        "minife_dot",
+        scale.workgroups(96),
+        0x31_F2,
+        AddressPattern::Stream { base: 0x1_8000_0000, region: 32 * MB },
+        scale.trips(180),
+        2,
+        12,
+        false,
+    );
+    let axpy = phase_kernel(
+        "minife_axpy",
+        scale.workgroups(96),
+        0x31_F3,
+        AddressPattern::Stream { base: 0x1_A000_0000, region: 32 * MB },
+        scale.trips(180),
+        2,
+        8,
+        true,
+    );
+    app("minife", vec![spmv, dot, axpy])
+}
+
+/// `xsbench` — Monte Carlo neutron-transport macro-XS lookup: random reads
+/// over a multi-hundred-MB cross-section table with a serializing waitcnt
+/// after every lookup. Essentially zero frequency sensitivity (paper
+/// Fig. 6d / Fig. 16 pins it at the lowest states).
+pub fn xsbench(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("xsbench_lookup", scale.workgroups(432), 4, 0x5B_E9);
+    let table = b.pattern(AddressPattern::Random { base: 0x2_0000_0000, region: 384 * MB });
+    b.begin_loop(scale.trips(450), 8); // lookups (jittered: divergent energy grids)
+    b.load(table);
+    b.wait_all_loads();
+    b.valu(2, 4); // interpolation
+    b.load(table);
+    b.wait_all_loads();
+    b.valu(2, 3);
+    b.end_loop();
+    app("xsbench", vec![b.finish()])
+}
+
+/// `hacc` — cosmology: alternates a compute-dense short-range force kernel
+/// with a bandwidth-bound particle update, repeated over time steps. Drives
+/// the strong coarse-grain phase alternation of paper Fig. 6(b).
+pub fn hacc(scale: Scale) -> App {
+    let force = |seed: u64| {
+        let mut b = KernelBuilder::new("hacc_force", scale.workgroups(160), 4, seed);
+        let tile = b.pattern(AddressPattern::Tile { base: 0x3_0000_0000, tile: 8 * KB });
+        b.begin_loop(scale.trips(36), 0);
+        b.load(tile);
+        b.load(tile);
+        b.waitcnt_vm(0);
+        // Multi-epoch polynomial force expansion.
+        b.begin_loop(3, 0);
+        b.valu(2, 70);
+        b.end_loop();
+        b.end_loop();
+        b.finish()
+    };
+    let update = |seed: u64| {
+        let mut b = KernelBuilder::new("hacc_update", scale.workgroups(160), 4, seed);
+        let parts = b.pattern(AddressPattern::Stream { base: 0x3_8000_0000, region: 192 * MB });
+        b.begin_loop(scale.trips(240), 0);
+        b.load(parts);
+        b.load(parts);
+        b.wait_all_loads();
+        b.valu(2, 4);
+        b.store(parts);
+        b.end_loop();
+        b.waitcnt_st(0);
+        b.finish()
+    };
+    // Three time steps of (force, update); 2 unique kernels.
+    app(
+        "hacc",
+        vec![force(0xAC_01), update(0xAC_02), force(0xAC_01), update(0xAC_02), force(0xAC_01), update(0xAC_02)],
+    )
+}
+
+/// `quickS` — Monte Carlo particle transport (Quicksilver): heavily
+/// divergent control flow (jittered trip counts at two nesting levels) and
+/// irregular loads. The paper's example of maximal *inter-wavefront*
+/// variation (Fig. 11a).
+pub fn quicks(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("quicks_history", scale.workgroups(432), 4, 0x9C_5);
+    let xs = b.pattern(AddressPattern::Random { base: 0x4_0000_0000, region: 96 * MB });
+    let tally = b.pattern(AddressPattern::Random { base: 0x4_8000_0000, region: 16 * MB });
+    b.begin_loop(scale.trips(72), 16); // particle histories: hugely divergent
+    b.load(xs);
+    b.wait_all_loads();
+    b.valu(2, 10);
+    b.begin_loop(5, 3); // collision segments: divergent
+    b.load(xs);
+    b.waitcnt_vm(0);
+    b.valu(2, 16);
+    b.end_loop();
+    b.store(tally);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("quickS", vec![b.finish()])
+}
+
+/// `pennant` — unstructured mesh hydrodynamics: 5 kernels mixing gather/
+/// scatter phases with point-local compute.
+pub fn pennant(scale: Scale) -> App {
+    let mk = |i: u64, n_loads: usize, n_valu: usize, region_mb: u64, store: bool| {
+        phase_kernel(
+            &format!("pennant_k{i}"),
+            scale.workgroups(80),
+            0x9E_44 + i,
+            AddressPattern::Strided {
+                base: 0x5_0000_0000 + i * 0x1000_0000,
+                stride: 256,
+                region: region_mb * MB,
+            },
+            scale.trips(210),
+            n_loads,
+            n_valu,
+            store,
+        )
+    };
+    app(
+        "pennant",
+        vec![mk(0, 3, 20, 64, false), mk(1, 1, 44, 8, false), mk(2, 4, 12, 96, true), mk(3, 2, 32, 24, false), mk(4, 3, 16, 64, true)],
+    )
+}
+
+/// `snapc` — discrete-ordinates transport sweep: tightly synchronized
+/// (barrier-stepped) wavefront sweeps with balanced compute.
+pub fn snapc(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("snapc_sweep", scale.workgroups(432), 4, 0x5A_9C);
+    let flux = b.pattern(AddressPattern::Strided { base: 0x6_0000_0000, stride: 128, region: 64 * MB });
+    b.begin_loop(scale.trips(60), 0); // sweep planes (no jitter: barriers inside)
+    // Upwind gather segment.
+    b.begin_loop(4, 0);
+    b.load(flux);
+    b.load(flux);
+    b.waitcnt_vm(1);
+    b.valu(2, 4);
+    b.end_loop();
+    b.wait_all_loads();
+    b.barrier(); // plane synchronization
+    // Angular compute segment.
+    b.begin_loop(3, 0);
+    b.valu(2, 28);
+    b.end_loop();
+    b.store(flux);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("snapc", vec![b.finish()])
+}
+
+// ---------------------------------------------------------------------------
+// Machine-intelligence applications (DeepBench / DNNMark)
+// ---------------------------------------------------------------------------
+
+/// `dgemm` — double-precision tiled matrix multiply: LDS-tile staging
+/// (barrier-fenced tile loads) followed by long FMA bursts. The most
+/// compute-bound workload, but with heterogeneous tile-edge phases (the
+/// paper notes its "highly heterogeneous behavior").
+pub fn dgemm(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("dgemm_tile", scale.workgroups(432), 4, 0xD6_E4);
+    let a_tile = b.pattern(AddressPattern::Tile { base: 0x7_0000_0000, tile: 4 * KB });
+    // The B panel is broadcast across wavefronts (LDS staging in a real
+    // kernel): shared lines hit L2/L1 after first touch.
+    let b_mat = b.pattern(AddressPattern::Shared { base: 0x7_4000_0000, region: 2 * MB });
+    let c_out = b.pattern(AddressPattern::Strided { base: 0x7_8000_0000, stride: 64, region: 32 * MB });
+    b.begin_loop(scale.trips(42), 0); // K-tiles
+    // Stage phase: fetch the tile operands and synchronize.
+    b.begin_loop(3, 0);
+    b.load(b_mat);
+    b.load(a_tile);
+    b.waitcnt_vm(1);
+    b.valu(2, 2);
+    b.end_loop();
+    b.wait_all_loads();
+    b.barrier();
+    // Compute phase: a multi-epoch FMA burst over the staged tile.
+    b.begin_loop(5, 0);
+    b.valu(2, 64);
+    b.end_loop();
+    b.barrier();
+    b.end_loop();
+    b.store(c_out);
+    b.waitcnt_st(0);
+    app("dgemm", vec![b.finish()])
+}
+
+/// `BwdBN` — batch-normalization backward: two-phase loop (wide reduction
+/// reads, then scale/shift math), one channel per wavefront with cross-lane
+/// reductions. Its per-wavefront contributions shift epoch to epoch — the
+/// paper's Figure 8 example.
+pub fn bwd_bn(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("bwdbn", scale.workgroups(1728), 1, 0xB0_B4);
+    let act = b.pattern(AddressPattern::Stream { base: 0x8_0000_0000, region: 128 * MB });
+    let grad = b.pattern(AddressPattern::Stream { base: 0x8_8000_0000, region: 128 * MB });
+    // Per-channel setup of varying length: staggers each wavefront's phase
+    // position once, desynchronizing the otherwise lock-step loop phases.
+    b.begin_loop(40, 40);
+    b.salu(2);
+    b.end_loop();
+    b.begin_loop(scale.trips(48), 0);
+    // Reduction phase: a multi-epoch strided read sweep.
+    b.begin_loop(6, 0);
+    b.load(act);
+    b.load(grad);
+    b.load(act);
+    b.load(grad);
+    b.waitcnt_vm(1);
+    b.valu(2, 4);
+    b.end_loop();
+    b.wait_all_loads();
+    b.barrier();
+    // Elementwise phase: a multi-epoch scale/shift burst.
+    b.begin_loop(4, 0);
+    b.valu(2, 32);
+    b.store(grad);
+    b.end_loop();
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("BwdBN", vec![b.finish()])
+}
+
+/// `FwdBN` — batch-normalization forward: like the backward pass but with a
+/// lighter elementwise tail.
+pub fn fwd_bn(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("fwdbn", scale.workgroups(1728), 1, 0xF0_B4);
+    let act = b.pattern(AddressPattern::Stream { base: 0x9_0000_0000, region: 128 * MB });
+    // Per-channel setup prologue (see BwdBN).
+    b.begin_loop(40, 40);
+    b.salu(2);
+    b.end_loop();
+    b.begin_loop(scale.trips(54), 0);
+    // Statistics phase: streaming reads.
+    b.begin_loop(5, 0);
+    b.load(act);
+    b.load(act);
+    b.waitcnt_vm(1);
+    b.valu(2, 4);
+    b.end_loop();
+    b.wait_all_loads();
+    b.barrier();
+    // Normalize phase.
+    b.begin_loop(3, 0);
+    b.valu(2, 28);
+    b.end_loop();
+    b.store(act);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("FwdBN", vec![b.finish()])
+}
+
+/// `BwdPool` — pooling backward: perfectly regular gather/scatter with a
+/// constant per-iteration instruction rate. The paper observes it settles
+/// on a single mid frequency during steady state.
+pub fn bwd_pool(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("bwdpool", scale.workgroups(432), 4, 0xB9_01);
+    let win = b.pattern(AddressPattern::Strided { base: 0xA_0000_0000, stride: 128, region: 64 * MB });
+    b.begin_loop(scale.trips(330), 0);
+    b.load(win);
+    b.load(win);
+    b.wait_all_loads();
+    b.valu(2, 14);
+    b.store(win);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("BwdPool", vec![b.finish()])
+}
+
+/// `FwdPool` — pooling forward: streaming window maximum; very little math
+/// per byte moved.
+pub fn fwd_pool(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("fwdpool", scale.workgroups(432), 4, 0xF9_01);
+    let input = b.pattern(AddressPattern::Stream { base: 0xB_0000_0000, region: 192 * MB });
+    let output = b.pattern(AddressPattern::Stream { base: 0xB_8000_0000, region: 48 * MB });
+    b.begin_loop(scale.trips(390), 0);
+    b.load(input);
+    b.load(input);
+    b.wait_all_loads();
+    b.valu(2, 4);
+    b.store(output);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("FwdPool", vec![b.finish()])
+}
+
+/// `BwdSoft` — softmax backward: transcendental-heavy math over
+/// L2-resident per-wavefront activation tiles; strongly compute-bound.
+pub fn bwd_soft(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("bwdsoft", scale.workgroups(432), 4, 0xB5_0F);
+    let act = b.pattern(AddressPattern::Tile { base: 0xC_0000_0000, tile: 8 * KB });
+    b.begin_loop(scale.trips(42), 0);
+    b.load(act);
+    b.load(act);
+    b.waitcnt_vm(0);
+    // Multi-epoch exp/log chains with long dependency latency.
+    b.begin_loop(3, 0);
+    b.valu(4, 24);
+    b.valu(2, 12);
+    b.end_loop();
+    b.store(act);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("BwdSoft", vec![b.finish()])
+}
+
+/// `FwdSoft` — softmax forward: reduction over a working set sized near the
+/// L2 capacity, shared across CUs. At high frequency the combined request
+/// stream overruns the L2/DRAM, reproducing the paper's second-order
+/// observation that a mid static frequency beats both extremes.
+pub fn fwd_soft(scale: Scale) -> App {
+    let mut b = KernelBuilder::new("fwdsoft", scale.workgroups(432), 4, 0xF5_0F);
+    let logits = b.pattern(AddressPattern::Shared { base: 0xD_0000_0000, region: 6 * MB });
+    let out = b.pattern(AddressPattern::Stream { base: 0xD_8000_0000, region: 32 * MB });
+    b.begin_loop(scale.trips(225), 0);
+    b.load(logits);
+    b.load(logits);
+    b.waitcnt_vm(1);
+    b.valu(4, 6); // exp
+    b.wait_all_loads();
+    b.valu(2, 5);
+    b.store(out);
+    b.end_loop();
+    b.waitcnt_st(0);
+    app("FwdSoft", vec![b.finish()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::gpu::Gpu;
+    use gpu_sim::time::{Femtos, Frequency};
+
+    /// Measures total committed at two frequencies over a few steady-state
+    /// epochs (after a cold-cache warm-up window) and returns the high/low
+    /// ratio — a cheap sensitivity probe.
+    fn sensitivity_ratio(app: App) -> f64 {
+        let mk = |mhz: u32| {
+            let mut gpu = Gpu::new(GpuConfig::tiny(), app.clone());
+            let all: Vec<usize> = (0..gpu.n_cus()).collect();
+            gpu.set_frequency_of(&all, Frequency::from_mhz(mhz), Femtos::ZERO);
+            gpu.run_epoch(Femtos::from_micros(6)); // cold-cache warm-up
+            let mut committed = 0u64;
+            for _ in 0..8 {
+                committed += gpu.run_epoch(Femtos::from_micros(1)).committed_total();
+            }
+            committed.max(1)
+        };
+        mk(2200) as f64 / mk(1300) as f64
+    }
+
+    #[test]
+    fn dgemm_is_frequency_sensitive() {
+        let r = sensitivity_ratio(dgemm(Scale::Quick));
+        assert!(r > 1.3, "dgemm should be compute-bound, ratio {r}");
+    }
+
+    #[test]
+    fn xsbench_is_frequency_insensitive() {
+        let r = sensitivity_ratio(xsbench(Scale::Quick));
+        assert!(r < 1.25, "xsbench should be latency-bound, ratio {r}");
+    }
+
+    #[test]
+    fn dgemm_more_sensitive_than_hpgmg() {
+        let rd = sensitivity_ratio(dgemm(Scale::Quick));
+        let rh = sensitivity_ratio(hpgmg(Scale::Quick));
+        assert!(
+            rd > rh,
+            "compute-bound dgemm ({rd}) must out-scale bandwidth-bound hpgmg ({rh})"
+        );
+    }
+
+    #[test]
+    fn bwdsoft_more_sensitive_than_fwdpool() {
+        let rb = sensitivity_ratio(bwd_soft(Scale::Quick));
+        let rf = sensitivity_ratio(fwd_pool(Scale::Quick));
+        assert!(rb > rf, "BwdSoft ({rb}) vs FwdPool ({rf})");
+    }
+
+    #[test]
+    fn barrier_kernels_make_progress() {
+        // snapc and dgemm use barriers with zero-jitter loops: they must not
+        // deadlock and must retire work.
+        for app_fn in [snapc as fn(Scale) -> App, dgemm, bwd_bn, fwd_bn, fwd_soft] {
+            let mut gpu = Gpu::new(GpuConfig::tiny(), app_fn(Scale::Quick));
+            let mut total = 0u64;
+            for _ in 0..5 {
+                total += gpu.run_epoch(Femtos::from_micros(1)).committed_total();
+            }
+            assert!(total > 1000, "barrier kernel stalled: {total} committed");
+        }
+    }
+
+    #[test]
+    fn quicks_has_high_interwavefront_divergence() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), quicks(Scale::Quick));
+        gpu.run_epoch(Femtos::from_micros(2));
+        let stats = gpu.run_epoch(Femtos::from_micros(2));
+        // Committed counts across wavefront slots of one CU should spread.
+        let wf = &stats.cus[0].wf;
+        let counts: Vec<u32> =
+            wf.iter().filter(|w| w.present).map(|w| w.committed).collect();
+        let max = *counts.iter().max().unwrap_or(&0);
+        let min = *counts.iter().min().unwrap_or(&0);
+        assert!(max > 0, "no work in epoch");
+        // Oldest-first scheduling plus divergent control flow must spread
+        // per-wavefront progress within a CU (issue-limited, so the spread
+        // is moderate but consistent: the paper's Fig. 11a effect).
+        assert!(max >= min + min / 10, "divergence too low: {counts:?}");
+    }
+
+    #[test]
+    fn hacc_alternates_phases() {
+        // Force (compute) and update (memory) kernels must differ in
+        // sensitivity.
+        let force = app("hacc_f", vec![hacc(Scale::Quick).kernels[0].clone()]);
+        let update = app("hacc_u", vec![hacc(Scale::Quick).kernels[1].clone()]);
+        let rf = sensitivity_ratio(force);
+        let ru = sensitivity_ratio(update);
+        assert!(rf > ru, "force ({rf}) should out-scale update ({ru})");
+    }
+
+    #[test]
+    fn apps_complete_on_tiny_gpu_at_quick_scale() {
+        // Spot-check a fast pair end-to-end (full-suite completion is an
+        // integration test).
+        for name in ["comd", "dgemm"] {
+            let appl = crate::by_name(name, Scale::Quick).unwrap();
+            let mut gpu = Gpu::new(GpuConfig::tiny(), appl);
+            gpu.run_to_completion(Femtos::from_micros(500_000));
+            assert!(gpu.is_done(), "{name} did not finish");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — synthetic Table II applications
+//!
+//! The paper evaluates 9 HPC proxy apps (ECP suite) and 7 machine-
+//! intelligence kernels (DeepBench / DNNMark). Real GCN3 binaries and their
+//! inputs are not reproducible here, so each application is substituted by
+//! a synthetic kernel generator tuned to the *behavioral profile* the
+//! paper's mechanisms are sensitive to:
+//!
+//! * instruction mix (VALU/SALU vs loads/stores) — frequency sensitivity,
+//! * loop structure — PC repetition (what the PC table exploits),
+//! * address-stream locality — L1/L2/DRAM residency and contention,
+//! * barrier usage and trip-count jitter — inter-wavefront divergence,
+//! * multi-kernel sequences — coarse temporal phases.
+//!
+//! Each builder documents its profile and which paper observations it is
+//! designed to reproduce. Kernel counts match Table II (e.g. `lulesh` has
+//! 27 unique kernels, `hacc` 2, `minife` 3, `pennant` 5).
+//!
+//! ```
+//! use workloads::{suite, Scale};
+//! let apps = suite(Scale::Quick);
+//! assert_eq!(apps.len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod registry;
+
+pub use registry::{by_name, suite, table2, Category, Scale, Workload};

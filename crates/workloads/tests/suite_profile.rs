@@ -1,0 +1,124 @@
+//! Suite-level behavioral checks: the synthetic Table II apps must exhibit
+//! the qualitative profiles their real counterparts are known for, since
+//! every reproduced figure depends on those contrasts.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::stats::OpMix;
+use gpu_sim::time::{Femtos, Frequency};
+use workloads::{by_name, registry, Scale};
+
+/// Steady-state profile of one app at a fixed frequency.
+struct Profile {
+    mix: OpMix,
+    l1_hit: f64,
+    committed: u64,
+}
+
+fn profile(name: &str, mhz: u32) -> Profile {
+    let app = by_name(name, Scale::Quick).expect("registered");
+    let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+    let all: Vec<usize> = (0..gpu.n_cus()).collect();
+    gpu.set_frequency_of(&all, Frequency::from_mhz(mhz), Femtos::ZERO);
+    gpu.run_epoch(Femtos::from_micros(4)); // cold-cache warm-up
+    let mut mix = OpMix::default();
+    let mut l1 = (0u64, 0u64);
+    let mut committed = 0u64;
+    for _ in 0..10 {
+        let s = gpu.run_epoch(Femtos::from_micros(1));
+        for cu in &s.cus {
+            mix = mix.merged(&cu.op_mix);
+            l1.0 += cu.l1_hits;
+            l1.1 += cu.l1_misses;
+            committed += cu.committed;
+        }
+    }
+    Profile {
+        mix,
+        l1_hit: if l1.0 + l1.1 == 0 { 0.0 } else { l1.0 as f64 / (l1.0 + l1.1) as f64 },
+        committed,
+    }
+}
+
+#[test]
+fn compute_apps_have_high_valu_share() {
+    for name in ["dgemm", "BwdSoft", "hacc"] {
+        let p = profile(name, 1700);
+        let valu_share = p.mix.valu as f64 / p.mix.total().max(1) as f64;
+        assert!(valu_share > 0.5, "{name}: valu share {valu_share:.2} too low");
+    }
+}
+
+#[test]
+fn memory_apps_have_high_memory_share() {
+    for name in ["xsbench", "hpgmg", "FwdPool"] {
+        let p = profile(name, 1700);
+        assert!(
+            p.mix.memory_fraction() > 0.12,
+            "{name}: memory fraction {:.2} too low",
+            p.mix.memory_fraction()
+        );
+    }
+}
+
+#[test]
+fn tile_reuse_apps_hit_l1() {
+    // dgemm's broadcast B panel is shared across wavefronts, so later
+    // wavefronts hit lines the first one fetched (~45% L1 on the tiny
+    // platform). Per-wavefront 8 KiB tiles (hacc, BwdSoft) exceed the
+    // shared 16 KiB L1 at full occupancy and live in L2 instead.
+    let p = profile("dgemm", 1700);
+    assert!(p.l1_hit > 0.35, "dgemm: L1 hit rate {:.2} too low", p.l1_hit);
+}
+
+#[test]
+fn streaming_apps_miss_l1() {
+    for name in ["hpgmg", "FwdPool", "xsbench"] {
+        let p = profile(name, 1700);
+        assert!(p.l1_hit < 0.5, "{name}: L1 hit rate {:.2} too high for streaming", p.l1_hit);
+    }
+}
+
+#[test]
+fn every_app_does_steady_work_at_every_state_extreme() {
+    for w in registry::all() {
+        for mhz in [1300, 2200] {
+            let p = profile(w.name, mhz);
+            assert!(p.committed > 500, "{} commits almost nothing at {mhz} MHz", w.name);
+            assert!(p.mix.total() > 0, "{}: empty op mix", w.name);
+        }
+    }
+}
+
+#[test]
+fn waitcnt_discipline_every_load_eventually_waited() {
+    // Static check on the code objects: every kernel that issues loads
+    // must also issue waitcnts (otherwise stalls — the STALL estimator's
+    // entire signal — would never materialize).
+    use gpu_sim::isa::Op;
+    for w in registry::all() {
+        let app = (w.build)(Scale::Quick);
+        for k in &app.kernels {
+            let loads = k.code.iter().filter(|o| matches!(o, Op::Load { .. })).count();
+            let waits = k.code.iter().filter(|o| matches!(o, Op::Waitcnt { .. })).count();
+            if loads > 0 {
+                assert!(waits > 0, "{}/{}: loads without waitcnt", w.name, k.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn hpc_and_mi_partition_is_table2() {
+    use workloads::Category;
+    let t = workloads::table2();
+    let hpc: Vec<&str> =
+        t.iter().filter(|(_, c, _)| *c == Category::Hpc).map(|&(n, _, _)| n).collect();
+    assert_eq!(
+        hpc,
+        vec!["comd", "hpgmg", "lulesh", "minife", "xsbench", "hacc", "quickS", "pennant", "snapc"]
+    );
+    let kernels: usize = t.iter().map(|&(_, _, k)| k).sum();
+    // 9 HPC (27+5+3+2+1*5) + 7 MI (1 each) unique kernels.
+    assert_eq!(kernels, 27 + 5 + 3 + 2 + 5 + 7);
+}

@@ -1,0 +1,49 @@
+//! How often does each design choose the V/f state the oracle would?
+//!
+//! Prediction accuracy (Fig. 14) scores instruction-count estimates; this
+//! study scores the *decision* itself — the most direct measure of what
+//! separates "predict" from "react".
+//!
+//! ```sh
+//! cargo run --release --example decision_agreement
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use harness::agreement::measure;
+use harness::runner::RunConfig;
+use pcstall::estimators::CuEstimator;
+use pcstall::policy::{PcStallConfig, PolicyKind};
+use workloads::{by_name, Scale};
+
+fn main() {
+    let apps = ["comd", "hacc", "dgemm", "xsbench"];
+    let designs = [
+        ("STATIC-1700", PolicyKind::Static(1700)),
+        ("CRISP", PolicyKind::Reactive(CuEstimator::Crisp)),
+        ("PCSTALL", PolicyKind::PcStall(PcStallConfig::default())),
+        ("ORACLE", PolicyKind::Oracle),
+    ];
+    println!("agreement with the oracle's per-domain state choice (tiny GPU, 40 epochs)\n");
+    println!("{:12} {:>8} {:>10} {:>10}", "design", "exact", "within ±1", "mean dist");
+    for (name, policy) in designs {
+        let mut exact = 0.0;
+        let mut within = 0.0;
+        let mut dist = 0.0;
+        for app_name in apps {
+            let app = by_name(app_name, Scale::Quick).expect("registered");
+            let mut cfg = RunConfig::reduced(policy);
+            cfg.gpu = GpuConfig::tiny();
+            let a = measure(&app, &cfg, 40);
+            exact += a.exact_rate();
+            within += a.within_one_rate();
+            dist += a.mean_distance();
+        }
+        let n = apps.len() as f64;
+        println!(
+            "{name:12} {:>7.1}% {:>9.1}% {:>10.2}",
+            100.0 * exact / n,
+            100.0 * within / n,
+            dist / n
+        );
+    }
+}

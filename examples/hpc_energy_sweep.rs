@@ -1,0 +1,62 @@
+//! HPC cluster scenario: compare DVFS designs across the ECP proxy
+//! applications, the use case the paper's introduction motivates for
+//! performance-oriented servers (ED²P).
+//!
+//! ```sh
+//! cargo run --release --example hpc_energy_sweep
+//! ```
+
+use harness::report::{f3, markdown_table, pct};
+use harness::runner::{run, run_static_baseline, RunConfig};
+use harness::sweeps::default_threads;
+use pcstall::estimators::CuEstimator;
+use pcstall::policy::{PcStallConfig, PolicyKind};
+use power::energy::geomean;
+use workloads::{by_name, Scale};
+
+fn main() {
+    let apps = ["comd", "hpgmg", "xsbench", "hacc", "snapc"];
+    let designs = [
+        ("CRISP", PolicyKind::Reactive(CuEstimator::Crisp)),
+        ("PCSTALL", PolicyKind::PcStall(PcStallConfig::default())),
+        ("ORACLE", PolicyKind::Oracle),
+    ];
+    println!(
+        "ED^2P vs static 1.7 GHz on a 16-CU GPU, 1 us epochs ({} worker threads available)",
+        default_threads()
+    );
+
+    let mut rows = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
+    for name in apps {
+        let app = by_name(name, Scale::Quick).expect("registered");
+        let base_cfg = RunConfig::reduced(PolicyKind::Static(1700));
+        let baseline = run_static_baseline(&app, &base_cfg);
+        let mut row = vec![name.to_string()];
+        for (di, (_, policy)) in designs.iter().enumerate() {
+            let cfg = RunConfig { policy: *policy, ..base_cfg.clone() };
+            let r = run(&app, &cfg);
+            let ratio = r.metrics.ed2p_vs(&baseline.metrics);
+            ratios[di].push(ratio);
+            row.push(f3(ratio));
+        }
+        rows.push(row);
+    }
+    let mut geo_row = vec!["**geomean**".to_string()];
+    let mut improvements = Vec::new();
+    for r in &ratios {
+        let g = geomean(r);
+        improvements.push(1.0 - g);
+        geo_row.push(f3(g));
+    }
+    rows.push(geo_row);
+
+    println!();
+    println!("{}", markdown_table(&["app", "CRISP", "PCSTALL", "ORACLE"], &rows));
+    println!(
+        "PCSTALL captures {} ED^2P improvement vs CRISP's {} (ORACLE: {}).",
+        pct(improvements[1]),
+        pct(improvements[0]),
+        pct(improvements[2]),
+    );
+}

@@ -1,0 +1,51 @@
+//! Terminal rendering of the paper's time-series figures: per-CU
+//! sensitivity traces (Fig. 6) and per-wavefront contributions (Fig. 8),
+//! drawn as Unicode strip charts.
+//!
+//! ```sh
+//! cargo run --release --example plot_profiles
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::time::Femtos;
+use harness::ascii::{bar_chart, sparkline, strip_chart};
+use harness::studies::probe_series;
+use workloads::{by_name, Scale};
+
+fn main() {
+    let gpu_cfg = GpuConfig::small();
+    let epochs = 30;
+
+    println!("=== Fig. 6: per-epoch CU sensitivity (1 us), CU 0 ===\n");
+    let mut series = Vec::new();
+    for name in ["dgemm", "hacc", "BwdBN", "xsbench"] {
+        let app = by_name(name, Scale::Quick).expect("registered");
+        let probe = probe_series(&app, &gpu_cfg, Femtos::from_micros(1), epochs);
+        let trace = probe.cu_trace(0);
+        let mean = trace.iter().sum::<f64>() / trace.len().max(1) as f64;
+        series.push((format!("{name} (mean S {mean:.2})"), trace));
+    }
+    println!("{}\n", strip_chart(&series));
+
+    println!("=== Fig. 8: per-wavefront sensitivity, BwdBN CU 0 (first 8 slots) ===\n");
+    let app = by_name("BwdBN", Scale::Quick).expect("registered");
+    let probe = probe_series(&app, &gpu_cfg, Femtos::from_micros(1), epochs);
+    let wf_traces = probe.wavefront_traces(0);
+    let mut slots = Vec::new();
+    for slot in 0..8 {
+        let trace: Vec<f64> = wf_traces.iter().map(|epoch| epoch[slot]).collect();
+        slots.push((format!("wf slot {slot}"), trace));
+    }
+    println!("{}\n", strip_chart(&slots));
+
+    println!("=== Fig. 7a: epoch-to-epoch sensitivity variability ===\n");
+    let mut rows = Vec::new();
+    for name in ["dgemm", "BwdSoft", "hacc", "comd", "BwdBN", "hpgmg", "xsbench"] {
+        let app = by_name(name, Scale::Quick).expect("registered");
+        let probe = probe_series(&app, &gpu_cfg, Femtos::from_micros(1), epochs);
+        rows.push((name.to_string(), probe.epoch_to_epoch_variability()));
+    }
+    println!("{}", bar_chart(&rows, 40));
+
+    println!("\n(legend: each cell is one 1 us epoch; ramp {} = low..high)", sparkline(&[0.0, 0.33, 0.66, 1.0]));
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run one workload under PCSTALL fine-grain DVFS and compare
+//! it against the static 1.7 GHz baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use harness::runner::{run, run_static_baseline, RunConfig};
+use pcstall::policy::{PcStallConfig, PolicyKind};
+use workloads::{by_name, Scale};
+
+fn main() {
+    // A 16-CU GPU with per-CU V/f domains, 1 µs epochs, ED²P objective.
+    let cfg = RunConfig::reduced(PolicyKind::PcStall(PcStallConfig::default()));
+
+    let app = by_name("comd", Scale::Quick).expect("comd is a registered Table II workload");
+    println!("running `{}` under PCSTALL (1 µs epochs, per-CU V/f domains)...", app.name);
+
+    let pcstall = run(&app, &cfg);
+    let baseline = run_static_baseline(&app, &cfg);
+
+    println!();
+    println!("                      PCSTALL      static 1.7 GHz");
+    println!(
+        "energy          {:>10.4} J {:>12.4} J",
+        pcstall.metrics.energy_j, baseline.metrics.energy_j
+    );
+    println!(
+        "delay           {:>10.2} us {:>11.2} us",
+        pcstall.metrics.delay_s * 1e6,
+        baseline.metrics.delay_s * 1e6
+    );
+    println!(
+        "ED^2P           {:>10.3e}   {:>12.3e}",
+        pcstall.metrics.ed2p(),
+        baseline.metrics.ed2p()
+    );
+    println!();
+    println!(
+        "ED^2P improvement over static: {:+.1}%",
+        (1.0 - pcstall.metrics.ed2p_vs(&baseline.metrics)) * 100.0
+    );
+    println!(
+        "prediction accuracy: {:.1}% over {} epochs",
+        pcstall.accuracy * 100.0,
+        pcstall.epochs
+    );
+    let states = dvfs::states::FreqStates::paper();
+    println!("mean selected frequency: {:.0} MHz", pcstall.mean_freq_mhz(&states));
+}

@@ -1,0 +1,88 @@
+//! Command-line driver for the reproduction harness.
+//!
+//! ```text
+//! repro list                 list every figure/table experiment
+//! repro run <id> [--full]    run one experiment (e.g. `repro run fig14`)
+//! repro all [--full]         run every experiment in sequence
+//! ```
+//!
+//! `--full` selects the paper's 64-CU platform at standard workload scale
+//! (equivalent to `PCSTALL_FULL=1`); the default is the reduced 16-CU
+//! preset. Outputs are printed and archived under `results/`.
+
+use harness::figures::{self, FigureOutput, Preset};
+use std::process::ExitCode;
+
+type FigureFn = fn(&Preset) -> FigureOutput;
+
+/// Every registered experiment: (id, description, entry point).
+fn registry() -> Vec<(&'static str, &'static str, FigureFn)> {
+    vec![
+        ("fig01a", "ED²P improvement vs DVFS epoch duration", figures::fig01a),
+        ("fig01b", "prediction accuracy vs epoch duration", figures::fig01b),
+        ("fig05", "instructions-vs-frequency linearity (comd)", figures::fig05),
+        ("fig06", "sensitivity profiles (dgemm/hacc/BwdBN/xsbench)", figures::fig06),
+        ("fig07", "epoch-to-epoch sensitivity variability", figures::fig07),
+        ("fig08", "per-wavefront contributions (BwdBN)", figures::fig08),
+        ("fig10", "same-PC iteration stability", figures::fig10),
+        ("fig11", "wavefront-slot contention & PC offset tuning", figures::fig11),
+        ("fig14", "prediction accuracy of all Table III designs", figures::fig14),
+        ("fig15", "per-workload ED²P vs static 1.7 GHz", figures::fig15),
+        ("fig16", "frequency residency under PCSTALL", figures::fig16),
+        ("fig17", "geomean EDP vs epoch duration", figures::fig17),
+        ("fig18a", "energy savings under perf-loss limits", figures::fig18a),
+        ("fig18b", "ED²P vs V/f-domain granularity", figures::fig18b),
+        ("table1", "hardware storage overhead per design", figures::table1),
+        ("table2", "the workload suite", figures::table2_figure),
+    ]
+}
+
+fn preset(args: &[String]) -> Preset {
+    if args.iter().any(|a| a == "--full") {
+        Preset::full()
+    } else {
+        Preset::from_env()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available experiments (run with `repro run <id>`):\n");
+            for (id, desc, _) in registry() {
+                println!("  {id:8} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: repro run <id> [--full]");
+                return ExitCode::FAILURE;
+            };
+            let Some((_name, _, f)) = registry().into_iter().find(|(n, _, _)| n == id) else {
+                eprintln!("unknown experiment `{id}`; see `repro list`");
+                return ExitCode::FAILURE;
+            };
+            let p = preset(&args);
+            println!("{}", f(&p).render());
+            println!(
+                "(preset: {}; pass --full for the 64-CU paper platform)",
+                if p.full { "full" } else { "reduced" }
+            );
+            ExitCode::SUCCESS
+        }
+        Some("all") => {
+            let p = preset(&args);
+            for (id, _, f) in registry() {
+                eprintln!("== {id} ==");
+                println!("{}", f(&p).render());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: repro <list|run <id>|all> [--full]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: whole-stack runs of the paper's pipeline
+//! (workloads → simulator → estimators/predictors → objectives → metrics).
+
+use dvfs::states::FreqStates;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::time::Femtos;
+use harness::runner::{run, RunConfig};
+use pcstall::estimators::CuEstimator;
+use pcstall::policy::{PcStallConfig, PolicyKind};
+use workloads::{by_name, suite, Scale};
+
+fn tiny_cfg(policy: PolicyKind) -> RunConfig {
+    let mut cfg = RunConfig::reduced(policy);
+    cfg.gpu = GpuConfig::tiny();
+    cfg.max_epochs = 25;
+    cfg
+}
+
+#[test]
+fn every_workload_runs_under_every_design_kind() {
+    // Smoke: the full Table II suite × a representative design subset.
+    let designs = [
+        PolicyKind::Static(1700),
+        PolicyKind::Reactive(CuEstimator::Crisp),
+        PolicyKind::PcStall(PcStallConfig::default()),
+    ];
+    for app in suite(Scale::Quick) {
+        for d in designs {
+            let mut cfg = tiny_cfg(d);
+            cfg.max_epochs = 6;
+            let r = run(&app, &cfg);
+            assert!(r.epochs > 0, "{}/{}: no epochs ran", app.name, r.policy);
+            assert!(r.metrics.energy_j > 0.0, "{}/{}: no energy", app.name, r.policy);
+            let res_sum: f64 = r.freq_residency.iter().sum();
+            assert!((res_sum - 1.0).abs() < 1e-9, "{}: residency {res_sum}", app.name);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_end_to_end() {
+    let app = by_name("comd", Scale::Quick).unwrap();
+    let cfg = tiny_cfg(PolicyKind::PcStall(PcStallConfig::default()));
+    let a = run(&app, &cfg);
+    let b = run(&app, &cfg);
+    assert_eq!(a, b, "same config must reproduce bit-identically");
+}
+
+#[test]
+fn oracle_design_dominates_static_extremes_on_mixed_work() {
+    // ORACLE may not beat the *best* static point, but it must never be
+    // meaningfully worse than both static extremes simultaneously.
+    let app = by_name("hacc", Scale::Quick).unwrap();
+    let mut cfg = tiny_cfg(PolicyKind::Oracle);
+    cfg.max_epochs = 4_000;
+    let oracle = run(&app, &cfg);
+    assert!(oracle.completed, "hacc must complete within the cap");
+    let lo = run(&app, &RunConfig { policy: PolicyKind::Static(1300), ..cfg.clone() });
+    let hi = run(&app, &RunConfig { policy: PolicyKind::Static(2200), ..cfg.clone() });
+    let best_static = lo.metrics.ed2p().min(hi.metrics.ed2p());
+    assert!(
+        oracle.metrics.ed2p() <= best_static * 1.15,
+        "oracle ED2P {:.3e} should be near/below best static {:.3e}",
+        oracle.metrics.ed2p(),
+        best_static
+    );
+}
+
+#[test]
+fn memory_bound_app_prefers_low_frequencies_under_pcstall() {
+    let app = by_name("xsbench", Scale::Quick).unwrap();
+    let mut cfg = tiny_cfg(PolicyKind::PcStall(PcStallConfig::default()));
+    cfg.max_epochs = 120;
+    let r = run(&app, &cfg);
+    let states = FreqStates::paper();
+    assert!(
+        r.mean_freq_mhz(&states) < 1550.0,
+        "xsbench should sit low, mean {} MHz",
+        r.mean_freq_mhz(&states)
+    );
+}
+
+#[test]
+fn compute_bound_app_clocks_higher_than_memory_bound() {
+    let states = FreqStates::paper();
+    let mut run_one = |name: &str| {
+        let app = by_name(name, Scale::Quick).unwrap();
+        let mut cfg = tiny_cfg(PolicyKind::PcStall(PcStallConfig::default()));
+        cfg.max_epochs = 120;
+        run(&app, &cfg).mean_freq_mhz(&states)
+    };
+    let compute = run_one("BwdSoft");
+    let memory = run_one("hpgmg");
+    assert!(
+        compute > memory,
+        "BwdSoft ({compute:.0} MHz) should out-clock hpgmg ({memory:.0} MHz)"
+    );
+}
+
+#[test]
+fn domain_grouping_reduces_dvfs_benefit() {
+    // Paper Fig. 18b: coarser V/f domains shrink the opportunity.
+    let app = by_name("hacc", Scale::Quick).unwrap();
+    let mut fine = tiny_cfg(PolicyKind::Oracle);
+    fine.max_epochs = 4_000;
+    fine.group = 1;
+    let mut coarse = fine.clone();
+    coarse.group = fine.gpu.n_cus; // one chip-wide domain
+    let fine_r = run(&app, &fine);
+    let coarse_r = run(&app, &coarse);
+    // Both must run; fine-grain should not be (meaningfully) worse.
+    assert!(
+        fine_r.metrics.ed2p() <= coarse_r.metrics.ed2p() * 1.1,
+        "fine {:.3e} vs coarse {:.3e}",
+        fine_r.metrics.ed2p(),
+        coarse_r.metrics.ed2p()
+    );
+}
+
+#[test]
+fn transition_latency_scaling_matches_paper() {
+    use dvfs::epoch::EpochConfig;
+    for (us, ns) in [(1u64, 4u64), (10, 40), (50, 200), (100, 400)] {
+        assert_eq!(EpochConfig::paper(us).transition, Femtos::from_nanos(ns));
+    }
+}
+
+#[test]
+fn full_suite_completes_on_small_gpu() {
+    // Every Table II app must terminate (no deadlocks / livelocks).
+    for app in suite(Scale::Quick) {
+        let mut gpu = Gpu::new(GpuConfig::small(), app.clone());
+        gpu.run_to_completion(Femtos::from_micros(100_000));
+        assert!(gpu.is_done(), "{} did not complete", app.name);
+    }
+}
+
+#[test]
+fn pc_table_hit_ratio_reaches_paper_levels() {
+    // Paper: 128 entries achieve 95%+ hit ratio. Measure on a looping
+    // kernel after warm-up via the policy's aggregated counters.
+    use dvfs::domain::DomainMap;
+    use dvfs::epoch::EpochConfig;
+    use dvfs::objective::Objective;
+    use gpu_sim::time::Frequency;
+    use pcstall::policy::{DecideCtx, DvfsPolicy, PcStallPolicy};
+    use power::model::PowerModel;
+
+    let app = by_name("comd", Scale::Quick).unwrap();
+    let gpu_cfg = GpuConfig::tiny();
+    let mut gpu = Gpu::new(gpu_cfg, app);
+    let domains = DomainMap::per_cu(gpu_cfg.n_cus);
+    let states = FreqStates::paper();
+    let power = PowerModel::default();
+    let mut policy = PcStallPolicy::new(PcStallConfig::default());
+    let mut current = vec![Frequency::from_mhz(1700); domains.len()];
+    let mut prev = None;
+    for _ in 0..40 {
+        let decisions = {
+            let ctx = DecideCtx {
+                stats: prev.as_ref(),
+                gpu: &gpu,
+                domains: &domains,
+                states: &states,
+                epoch: EpochConfig::paper(1),
+                power: &power,
+                objective: Objective::MinEd2p,
+                current: &current,
+                samples: None,
+            };
+            policy.decide(&ctx)
+        };
+        for (d, dec) in decisions.iter().enumerate() {
+            gpu.set_frequency_of(domains.cus(d), dec.freq, Femtos::from_nanos(4));
+            current[d] = dec.freq;
+        }
+        prev = Some(gpu.run_epoch(Femtos::from_micros(1)));
+    }
+    assert!(
+        policy.table_hit_ratio() > 0.75,
+        "hit ratio {:.2} too low after warm-up",
+        policy.table_hit_ratio()
+    );
+}

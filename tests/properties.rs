@@ -1,0 +1,213 @@
+//! Property-based tests over the core data structures and the simulator's
+//! foundational invariants (determinism, conservation, metric bounds).
+
+use dvfs::domain::DomainMap;
+use dvfs::epoch::EpochConfig;
+use dvfs::objective::{Objective, SelectionContext};
+use dvfs::states::FreqStates;
+use gpu_sim::cache::{Cache, CacheConfig};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::kernel::{AddressPattern, App, KernelBuilder};
+use gpu_sim::time::{Femtos, Frequency};
+use pcstall::pc_table::{PcTable, PcTableConfig};
+use pcstall::sensitivity::{fit_line, FreqResponse, LinearModel};
+use power::model::PowerModel;
+use proptest::prelude::*;
+
+/// A small random-but-valid kernel: loops of VALU/load/store/waitcnt ops.
+fn arb_app() -> impl Strategy<Value = App> {
+    (
+        2u16..12,                       // outer trips
+        0u16..4,                        // jitter
+        1usize..8,                      // valu burst
+        0usize..3,                      // loads per iteration
+        proptest::bool::ANY,            // store?
+        0u64..u64::MAX,                 // seed
+        1u32..4,                        // workgroup wavefronts
+    )
+        .prop_map(|(trips, jitter, valu, loads, store, seed, wg_wf)| {
+            let mut b = KernelBuilder::new("prop", 16, wg_wf as u8, seed);
+            let p = b.pattern(AddressPattern::Random { base: 0, region: 1 << 24 });
+            b.begin_loop(trips, jitter);
+            for _ in 0..loads {
+                b.load(p);
+            }
+            if loads > 0 {
+                b.wait_all_loads();
+            }
+            b.valu(2, valu);
+            if store {
+                b.store(p);
+                b.waitcnt_st(0);
+            }
+            b.end_loop();
+            App::new("prop-app", vec![b.finish()]).expect("generated kernel is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Forking the simulator and replaying must be bit-identical — the
+    /// foundation of the fork–pre-execute oracle.
+    #[test]
+    fn random_kernels_replay_deterministically(app in arb_app()) {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+        gpu.run_epoch(Femtos::from_micros(1));
+        let mut fork = gpu.clone();
+        let a = gpu.run_epoch(Femtos::from_micros(1));
+        let b = fork.run_epoch(Femtos::from_micros(1));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Total committed work over a full run is frequency-invariant
+    /// (conservation), and telemetry stays within physical bounds.
+    #[test]
+    fn committed_work_conserved_and_bounded(app in arb_app(), mhz_step in 0u32..10) {
+        let freq = Frequency::from_mhz(1300 + mhz_step * 100);
+        let mut gpu = Gpu::new(GpuConfig::tiny(), app.clone());
+        let all: Vec<usize> = (0..gpu.n_cus()).collect();
+        gpu.set_frequency_of(&all, freq, Femtos::ZERO);
+        let mut total = 0u64;
+        let epoch = Femtos::from_micros(1);
+        for _ in 0..4000 {
+            let stats = gpu.run_epoch(epoch);
+            total += stats.committed_total();
+            for cu in &stats.cus {
+                for wf in &cu.wf {
+                    prop_assert!(wf.stall <= epoch, "stall exceeds epoch");
+                    prop_assert!(wf.sched_wait <= epoch, "sched wait exceeds epoch");
+                }
+            }
+            if stats.done {
+                break;
+            }
+        }
+        prop_assert!(gpu.is_done(), "kernel must finish");
+        // Same app at 1.7 GHz commits the same total.
+        let mut reference = Gpu::new(GpuConfig::tiny(), app);
+        let mut ref_total = 0u64;
+        for _ in 0..4000 {
+            let stats = reference.run_epoch(epoch);
+            ref_total += stats.committed_total();
+            if stats.done {
+                break;
+            }
+        }
+        prop_assert_eq!(total, ref_total, "work must be conserved across frequencies");
+    }
+
+    /// LRU cache never exceeds capacity and hits repeat accesses.
+    #[test]
+    fn cache_capacity_and_hit_invariants(addrs in proptest::collection::vec(0u64..(1 << 20), 1..200)) {
+        let cfg = CacheConfig { sets: 16, ways: 2, line_shift: 6 };
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            let _ = c.access(a);
+            prop_assert!(c.resident_lines() <= 32);
+            prop_assert!(c.probe(a), "just-accessed line must be resident");
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// PC-table round trip: with overwrite semantics (alpha = 1) a lookup
+    /// right after an update returns exactly the stored model, and the
+    /// index respects the offset/entries geometry.
+    #[test]
+    fn pc_table_round_trip(pc in 0u32..(1 << 16), i0 in -100.0f64..200.0, s in -0.05f64..0.2) {
+        let mut t = PcTable::new(PcTableConfig { ewma_alpha: 1.0, ..Default::default() });
+        let m = LinearModel { i0, s };
+        t.update(pc, m);
+        let got = t.lookup(pc).expect("entry must exist");
+        prop_assert!((got.i0 - i0).abs() < 1e-12);
+        prop_assert!((got.s - s).abs() < 1e-12);
+        // Any PC within the same 16-byte window aliases to the same entry.
+        prop_assert_eq!(t.index(pc), t.index(pc & !0xF));
+    }
+
+    /// EWMA blending keeps entries inside the convex hull of updates.
+    #[test]
+    fn pc_table_ewma_stays_in_hull(values in proptest::collection::vec(0.0f64..100.0, 2..20)) {
+        let mut t = PcTable::new(PcTableConfig::default());
+        for &v in &values {
+            t.update(0x40, LinearModel { i0: v, s: 0.0 });
+        }
+        let got = t.lookup(0x40).unwrap().i0;
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(got >= lo - 1e-9 && got <= hi + 1e-9, "{got} outside [{lo}, {hi}]");
+    }
+
+    /// Linear fits recover exact lines and interval models bracket their
+    /// linearization at the endpoints.
+    #[test]
+    fn sensitivity_models_consistent(i_obs in 1.0f64..5000.0, async_frac in 0.0f64..1.0) {
+        let r = FreqResponse { i_obs, f_obs: Frequency::from_mhz(1700), async_frac };
+        let lo = Frequency::from_mhz(1300);
+        let hi = Frequency::from_mhz(2200);
+        let m = r.linearize(lo, hi);
+        prop_assert!((m.predict(lo) - r.predict(lo)).abs() < 1e-6);
+        prop_assert!((m.predict(hi) - r.predict(hi)).abs() < 1e-6);
+        // More async => flatter (smaller slope), never negative work.
+        prop_assert!(m.s >= -1e-12);
+        prop_assert!(r.predict(hi) + 1e-9 >= r.predict(lo), "monotone in f");
+    }
+
+    /// Least squares is exact on noiseless lines.
+    #[test]
+    fn fit_line_recovers_exact_lines(i0 in -50.0f64..50.0, s in -0.5f64..0.5) {
+        let pts: Vec<(f64, f64)> =
+            (13..=22).map(|k| (k as f64 * 100.0, i0 + s * k as f64 * 100.0)).collect();
+        let (m, r2) = fit_line(&pts);
+        prop_assert!((m.i0 - i0).abs() < 1e-6);
+        prop_assert!((m.s - s).abs() < 1e-9);
+        prop_assert!(r2 > 0.999999);
+    }
+
+    /// The objective always returns a state from the set, and static
+    /// objectives ignore the prediction entirely.
+    #[test]
+    fn objective_chooses_valid_states(i0 in 0.0f64..5000.0, s in 0.0f64..3.0, cur in 0usize..10) {
+        let states = FreqStates::paper();
+        let power = PowerModel::default();
+        let ctx = SelectionContext {
+            states: &states,
+            epoch: EpochConfig::paper(1),
+            power: &power,
+            domain_cus: 1,
+            issue_width: 4,
+            total_cus: 64,
+            current: states.as_slice()[cur],
+        };
+        let pred = |f: Frequency| i0 + s * f.mhz() as f64;
+        for obj in [Objective::MinEdp, Objective::MinEd2p, Objective::EnergyUnderPerfLoss(0.05)] {
+            let f = obj.choose(&ctx, pred);
+            prop_assert!(states.index_of(f).is_some(), "{f} not in state set");
+        }
+    }
+
+    /// Domain maps partition the CUs exactly once for any group size.
+    #[test]
+    fn domain_map_partitions(n_cus in 1usize..128, group in 1usize..64) {
+        let m = DomainMap::grouped(n_cus, group);
+        let mut seen = vec![0u32; n_cus];
+        for (d, cus) in m.iter() {
+            for &c in cus {
+                seen[c] += 1;
+                prop_assert_eq!(m.domain_of(c), d);
+            }
+        }
+        prop_assert!(seen.iter().all(|&k| k == 1));
+    }
+
+    /// CU power is monotone in both frequency (at fixed rate) and rate.
+    #[test]
+    fn power_model_monotonicity(ips in 0.0f64..9e9, step in 0u32..9) {
+        let m = PowerModel::default();
+        let f1 = Frequency::from_mhz(1300 + step * 100);
+        let f2 = Frequency::from_mhz(1300 + (step + 1) * 100);
+        prop_assert!(m.cu_power_w(f2, ips) > m.cu_power_w(f1, ips));
+        prop_assert!(m.cu_power_w(f1, ips + 1e8) > m.cu_power_w(f1, ips));
+    }
+}

@@ -15,8 +15,7 @@ fn main() {
         ("per V/f domain", TableScope::PerDomain),
         ("one global table", TableScope::Global),
     ] {
-        let mut cfg = PcStallConfig::default();
-        cfg.scope = scope;
+        let cfg = PcStallConfig { scope, ..Default::default() };
         let mut acc = 0.0;
         for app_name in apps {
             let app = workloads::by_name(app_name, preset.scale).expect("registered");
@@ -33,7 +32,9 @@ fn main() {
         title: "PC-table sharing scope (4 apps, 1 µs)".into(),
         headers: vec!["scope".into(), "mean accuracy".into()],
         rows,
-        notes: vec!["Paper: sharing beyond a CU costs little accuracy, enabling shared tables.".into()],
+        notes: vec![
+            "Paper: sharing beyond a CU costs little accuracy, enabling shared tables.".into()
+        ],
     };
     bench::run_figure_with("ablation_scope", &preset, out);
 }

@@ -47,7 +47,10 @@ fn main() {
         title: "PC-table geometry/storage ablation (3 apps, 1 µs)".into(),
         headers: vec!["variant".into(), "mean accuracy".into()],
         rows,
-        notes: vec!["Paper: 128 entries and a 4-bit offset suffice; accuracy falls past 4 offset bits.".into()],
+        notes: vec![
+            "Paper: 128 entries and a 4-bit offset suffice; accuracy falls past 4 offset bits."
+                .into(),
+        ],
     };
     bench::run_figure_with("ablation_table", &preset, out);
 }

@@ -202,10 +202,7 @@ mod tests {
             l1_misses: 0,
             active_wavefronts: 2,
             op_mix: Default::default(),
-            wf: vec![
-                wf_stats(0, 600, 400, 100),
-                wf_stats(1, 400, 700, 300),
-            ],
+            wf: vec![wf_stats(0, 600, 400, 100), wf_stats(1, 400, 700, 300)],
         }
     }
 
@@ -276,10 +273,8 @@ mod tests {
         assert!((r.async_frac - 0.3).abs() < 1e-9);
         // Intrinsic-demand normalization is on by default.
         assert!((est.contention(&wf, epoch()) - 0.2).abs() < 1e-9);
-        let off = WfStallEstimator::new(WfStallConfig {
-            age_normalize: false,
-            barrier_as_async: true,
-        });
+        let off =
+            WfStallEstimator::new(WfStallConfig { age_normalize: false, barrier_as_async: true });
         assert_eq!(off.contention(&wf, epoch()), 0.0);
     }
 
@@ -293,10 +288,8 @@ mod tests {
 
     #[test]
     fn age_normalization_can_be_disabled() {
-        let est = WfStallEstimator::new(WfStallConfig {
-            age_normalize: false,
-            barrier_as_async: true,
-        });
+        let est =
+            WfStallEstimator::new(WfStallConfig { age_normalize: false, barrier_as_async: true });
         let wf = wf_stats(1, 500, 300, 900);
         assert_eq!(est.contention(&wf, epoch()), 0.0);
     }

@@ -106,8 +106,7 @@ pub fn sample(
                 wf_committed[cu][slot][state_idx] = wf.committed;
                 let denial =
                     (wf.sched_wait.as_fs() as f64 / duration.as_fs() as f64).clamp(0.0, 0.95);
-                wf_intrinsic[cu][slot][state_idx] =
-                    (wf.committed as f64 / (1.0 - denial)) as f32;
+                wf_intrinsic[cu][slot][state_idx] = (wf.committed as f64 / (1.0 - denial)) as f32;
                 wf_denial[cu][slot][state_idx] = denial as f32;
             }
         }
@@ -144,7 +143,11 @@ pub fn sample_uniform(gpu: &Gpu, duration: Femtos, states: &FreqStates) -> Vec<E
 /// committed instructions at the lowest and highest states, from identical
 /// starting conditions. Returns `(low, high)` epoch telemetry. This is the
 /// cheap probe the measurement studies (Figures 6–11) are built on.
-pub fn probe_two_point(gpu: &Gpu, duration: Femtos, states: &FreqStates) -> (EpochStats, EpochStats) {
+pub fn probe_two_point(
+    gpu: &Gpu,
+    duration: Femtos,
+    states: &FreqStates,
+) -> (EpochStats, EpochStats) {
     let all: Vec<usize> = (0..gpu.n_cus()).collect();
     let mut lo = gpu.clone();
     lo.set_frequency_of(&all, states.min(), Femtos::ZERO);

@@ -110,7 +110,7 @@ fn selection_ctx<'a>(ctx: &'a DecideCtx<'_>, domain: usize) -> SelectionContext<
     }
 }
 
-fn decide_all<'a, F>(ctx: &'a DecideCtx<'_>, mut predict_domain: F) -> Vec<Decision>
+fn decide_all<'a, F>(ctx: &'a DecideCtx<'a>, mut predict_domain: F) -> Vec<Decision>
 where
     F: FnMut(usize) -> Box<dyn Fn(Frequency) -> f64 + 'a>,
 {
@@ -147,10 +147,8 @@ impl DvfsPolicy for StaticPolicy {
             .map(|d| {
                 // A static design makes no prediction; report the last
                 // actual as a flat curve so accuracy is still measurable.
-                let last = ctx
-                    .stats
-                    .map(|s| s.committed_in(ctx.domains.cus(d)) as f64)
-                    .unwrap_or(0.0);
+                let last =
+                    ctx.stats.map(|s| s.committed_in(ctx.domains.cus(d)) as f64).unwrap_or(0.0);
                 // Clamp into the (possibly power-capped) state set.
                 Decision { freq: ctx.states.nearest(self.freq), predicted: vec![last; n_states] }
             })
@@ -226,9 +224,7 @@ impl DvfsPolicy for AccReactivePolicy {
             Some(curves) => {
                 let curve = curves[d].clone();
                 let states = ctx.states;
-                Box::new(move |f: Frequency| {
-                    states.index_of(f).map(|i| curve[i]).unwrap_or(0.0)
-                })
+                Box::new(move |f: Frequency| states.index_of(f).map(|i| curve[i]).unwrap_or(0.0))
             }
             None => Box::new(|_| 0.0),
         });
@@ -270,8 +266,9 @@ impl DvfsPolicy for HistoryPolicy {
 
     fn decide(&mut self, ctx: &DecideCtx<'_>) -> Vec<Decision> {
         if self.tables.is_empty() {
-            self.tables =
-                (0..ctx.domains.len()).map(|_| crate::history::HistoryTable::new(self.cfg)).collect();
+            self.tables = (0..ctx.domains.len())
+                .map(|_| crate::history::HistoryTable::new(self.cfg))
+                .collect();
             self.last = vec![LinearModel::ZERO; ctx.domains.len()];
         }
         if let Some(stats) = ctx.stats {
@@ -396,10 +393,8 @@ impl PcStallPolicy {
 
     /// Aggregate hit ratio over all table instances.
     pub fn table_hit_ratio(&self) -> f64 {
-        let (h, m) = self
-            .tables
-            .iter()
-            .fold((0u64, 0u64), |(h, m), t| (h + t.hits(), m + t.misses()));
+        let (h, m) =
+            self.tables.iter().fold((0u64, 0u64), |(h, m), t| (h + t.hits(), m + t.misses()));
         if h + m == 0 {
             1.0
         } else {
@@ -459,7 +454,11 @@ impl PcStallPolicy {
                 }
                 let stored = model.scaled(1.0 / (1.0 - cont));
                 let class = self.cfg.blocked_bit && wf.start_blocked;
-                self.tables[tbl].update_classed(table_pc(wf.kernel_idx, wf.start_pc), class, stored);
+                self.tables[tbl].update_classed(
+                    table_pc(wf.kernel_idx, wf.start_pc),
+                    class,
+                    stored,
+                );
                 self.last_wf[cu][slot] = stored;
             }
         }
@@ -486,8 +485,7 @@ impl DvfsPolicy for PcStallPolicy {
                     }
                     let key = table_pc(wf.kernel_idx, wf.pc());
                     let class = self.cfg.blocked_bit && wf.mem_blocked_until > ctx.gpu.now();
-                    let model = self
-                        .tables[tbl]
+                    let model = self.tables[tbl]
                         .lookup_classed(key, class)
                         .unwrap_or(self.last_wf[cu][slot]);
                     domain_models[d] = domain_models[d] + model;
@@ -570,8 +568,7 @@ impl DvfsPolicy for AccPcPolicy {
                         .iter()
                         .enumerate()
                         .filter(|&(k, _)| {
-                            prev.wf_committed[cu][slot][k] > 0
-                                || prev.wf_denial[cu][slot][k] <= 0.5
+                            prev.wf_committed[cu][slot][k] > 0 || prev.wf_denial[cu][slot][k] <= 0.5
                         })
                         .map(|(k, &x)| (x, prev.wf_intrinsic[cu][slot][k] as f64))
                         .collect();
@@ -638,9 +635,7 @@ impl PolicyKind {
     /// Instantiates the design.
     pub fn build(&self) -> Box<dyn DvfsPolicy> {
         match *self {
-            PolicyKind::Static(mhz) => {
-                Box::new(StaticPolicy { freq: Frequency::from_mhz(mhz) })
-            }
+            PolicyKind::Static(mhz) => Box::new(StaticPolicy { freq: Frequency::from_mhz(mhz) }),
             PolicyKind::Reactive(est) => Box::new(ReactivePolicy { estimator: est }),
             PolicyKind::AccReac => Box::new(AccReactivePolicy::new()),
             PolicyKind::History(cfg) => Box::new(HistoryPolicy::new(cfg)),

@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn every_cu_owned_exactly_once() {
         let m = DomainMap::grouped(64, 8);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for (_, cus) in m.iter() {
             for &c in cus {
                 assert!(!seen[c], "CU {c} in two domains");

@@ -90,10 +90,13 @@ impl PowerCapManager {
         &self.cfg
     }
 
-    /// The state range the fine-grain controller may currently use.
+    /// The state range the fine-grain controller may currently use: the
+    /// configured set with everything above the ceiling removed. Every
+    /// returned state is a member of the full set, so index lookups
+    /// against either set stay valid under any (possibly non-uniform)
+    /// state grid.
     pub fn allowed(&self) -> FreqStates {
-        let max = self.full.as_slice()[self.hi];
-        FreqStates::from_range(self.full.min().mhz(), max.mhz(), 100)
+        self.full.prefix(self.hi + 1)
     }
 
     /// Index of the highest allowed state within the full set.
@@ -181,6 +184,24 @@ mod tests {
     }
 
     #[test]
+    fn allowed_stays_on_grid_for_custom_state_sets() {
+        use gpu_sim::time::Frequency;
+        let states = FreqStates::from_states(vec![
+            Frequency::from_mhz(1000),
+            Frequency::from_mhz(1150),
+            Frequency::from_mhz(1333),
+            Frequency::from_mhz(1633),
+        ]);
+        let mut m = PowerCapManager::new(PowerCapConfig::new(1.0), states.clone());
+        m.record_epoch(1.0, Femtos::from_micros(50)); // narrow once
+        let allowed = m.allowed();
+        assert_eq!(allowed.len(), 3);
+        for f in allowed.iter() {
+            assert!(states.index_of(f).is_some(), "{} MHz off-grid", f.mhz());
+        }
+    }
+
+    #[test]
     fn sub_interval_epochs_accumulate() {
         let mut m = manager(50.0);
         for _ in 0..49 {
@@ -194,7 +215,7 @@ mod tests {
     fn hysteresis_prevents_flapping() {
         let mut m = manager(50.0);
         m.record_epoch(5e-3, Femtos::from_micros(50)); // narrow (100 W)
-        // 49 W: under budget but inside the hysteresis band -> no widen.
+                                                       // 49 W: under budget but inside the hysteresis band -> no widen.
         assert_eq!(m.record_epoch(2.45e-3, Femtos::from_micros(50)), CapAction::None);
     }
 }

@@ -216,10 +216,7 @@ mod tests {
         let pred = linear(1000.0, 0.5);
         let tight = Objective::EnergyUnderPerfLoss(0.02).choose(&c, &pred);
         let loose = Objective::EnergyUnderPerfLoss(0.20).choose(&c, &pred);
-        assert!(
-            loose.mhz() <= tight.mhz(),
-            "looser limit allows lower clock ({loose} vs {tight})"
-        );
+        assert!(loose.mhz() <= tight.mhz(), "looser limit allows lower clock ({loose} vs {tight})");
         // Verify the tight choice actually satisfies the bound.
         let ref_rate = pred(states.max());
         let chosen_rate = pred(tight) * (1.0 - c.epoch.transition_fraction());
@@ -257,9 +254,6 @@ mod tests {
         let power = PowerModel::default();
         let c = ctx(&states, &power);
         assert_eq!(Objective::MinEd2p.choose(&c, linear(0.0, 0.0)), states.min());
-        assert_eq!(
-            Objective::EnergyUnderPerfLoss(0.05).choose(&c, linear(0.0, 0.0)),
-            states.min()
-        );
+        assert_eq!(Objective::EnergyUnderPerfLoss(0.05).choose(&c, linear(0.0, 0.0)), states.min());
     }
 }

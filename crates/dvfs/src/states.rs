@@ -40,6 +40,33 @@ impl FreqStates {
         Self::from_range(1300, 2200, 100)
     }
 
+    /// Builds a state set from an explicit list of states (not necessarily
+    /// uniformly spaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or not strictly ascending.
+    pub fn from_states(states: Vec<Frequency>) -> Self {
+        assert!(!states.is_empty(), "empty state set");
+        assert!(
+            states.windows(2).all(|w| w[0].mhz() < w[1].mhz()),
+            "states must be strictly ascending"
+        );
+        FreqStates { states }
+    }
+
+    /// The sub-set holding the `n` lowest states of this set (the shape a
+    /// power-cap ceiling produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the state count.
+    pub fn prefix(&self, n: usize) -> Self {
+        assert!(n >= 1, "prefix must keep at least one state");
+        assert!(n <= self.states.len(), "prefix exceeds state count");
+        FreqStates { states: self.states[..n].to_vec() }
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
         self.states.len()
@@ -115,6 +142,27 @@ mod tests {
     #[should_panic(expected = "step")]
     fn zero_step_panics() {
         let _ = FreqStates::from_range(1000, 2000, 0);
+    }
+
+    #[test]
+    fn explicit_states_and_prefix() {
+        let s = FreqStates::from_states(vec![
+            Frequency::from_mhz(1000),
+            Frequency::from_mhz(1150),
+            Frequency::from_mhz(1333),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max().mhz(), 1333);
+        let p = s.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.max().mhz(), 1150);
+        assert_eq!(p.min().mhz(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_states_panic() {
+        let _ = FreqStates::from_states(vec![Frequency::from_mhz(1500), Frequency::from_mhz(1400)]);
     }
 
     #[test]

@@ -62,12 +62,7 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         assert!(cfg.ways > 0, "ways must be non-zero");
-        Cache {
-            cfg,
-            tags: vec![INVALID; (cfg.sets * cfg.ways) as usize],
-            hits: 0,
-            misses: 0,
-        }
+        Cache { cfg, tags: vec![INVALID; (cfg.sets * cfg.ways) as usize], hits: 0, misses: 0 }
     }
 
     /// The cache geometry.

@@ -46,21 +46,21 @@ impl GpuConfig {
     /// by tests and quick benchmark runs. The qualitative behavior —
     /// contention, phase variability, PC repetition — is preserved.
     pub fn small() -> Self {
-        let mut cfg = GpuConfig::default();
-        cfg.n_cus = 16;
-        cfg.mem.l2_banks = 4;
-        cfg.mem.dram_channels = 4;
-        cfg
+        GpuConfig {
+            n_cus: 16,
+            mem: MemConfig { l2_banks: 4, dram_channels: 4, ..MemConfig::default() },
+            ..GpuConfig::default()
+        }
     }
 
     /// A tiny configuration (4 CUs) for unit tests.
     pub fn tiny() -> Self {
-        let mut cfg = GpuConfig::default();
-        cfg.n_cus = 4;
-        cfg.wf_slots = 16;
-        cfg.mem.l2_banks = 2;
-        cfg.mem.dram_channels = 2;
-        cfg
+        GpuConfig {
+            n_cus: 4,
+            wf_slots: 16,
+            mem: MemConfig { l2_banks: 2, dram_channels: 2, ..MemConfig::default() },
+            ..GpuConfig::default()
+        }
     }
 }
 

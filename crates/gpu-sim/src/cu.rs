@@ -18,6 +18,23 @@ use serde::{Deserialize, Serialize};
 /// Sentinel "no scheduled cycle" time for fully idle CUs.
 pub const IDLE: Femtos = Femtos(u64::MAX);
 
+/// Reusable scratch for [`Cu::collect_into`]: age-sorting buffers that
+/// would otherwise be allocated fresh for every CU on every epoch.
+///
+/// `Clone` intentionally produces an *empty* scratch: the buffers carry no
+/// state between epochs, so oracle forks (`Gpu::clone`) skip copying them.
+#[derive(Debug, Default)]
+pub struct CollectScratch {
+    ages: Vec<(u64, usize)>,
+    rank: Vec<u32>,
+}
+
+impl Clone for CollectScratch {
+    fn clone(&self) -> Self {
+        CollectScratch::default()
+    }
+}
+
 /// Per-workgroup bookkeeping within a CU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct WgState {
@@ -174,8 +191,7 @@ impl Cu {
             .iter()
             .position(|g| !g.active)
             .expect("free wavefront slots imply a free workgroup slot");
-        self.wgs[wg_local] =
-            WgState { active: true, remaining: wg_size as u8, at_barrier: 0 };
+        self.wgs[wg_local] = WgState { active: true, remaining: wg_size as u8, at_barrier: 0 };
         for (k, &slot) in free.iter().enumerate() {
             let wf = &mut self.slots[slot];
             wf.dispatch(
@@ -197,7 +213,12 @@ impl Cu {
 
     /// Executes one scheduling step at time `now` (which must equal
     /// `next_cycle`), advancing `next_cycle`.
-    pub fn step(&mut self, now: Femtos, mem: &mut MemSystem, app_kernels: &[Kernel]) -> StepOutcome {
+    pub fn step(
+        &mut self,
+        now: Femtos,
+        mem: &mut MemSystem,
+        app_kernels: &[Kernel],
+    ) -> StepOutcome {
         let mut outcome = StepOutcome::default();
         // Pick the oldest `issue_width` ready wavefronts; charge sched-wait
         // to ready wavefronts that lost arbitration.
@@ -216,8 +237,8 @@ impl Cu {
             for &(_, j) in ready.iter().skip(self.issue_width) {
                 self.slots[j].e_sched_wait += self.period;
             }
-            for k in 0..ready.len().min(self.issue_width) {
-                self.issue(ready[k].1, now, mem, app_kernels, &mut outcome);
+            for &(_, j) in ready.iter().take(self.issue_width) {
+                self.issue(j, now, mem, app_kernels, &mut outcome);
             }
             self.add_busy(now, now + self.period);
             self.next_cycle = now + self.period;
@@ -371,16 +392,10 @@ impl Cu {
             Op::Waitcnt { vm, st } => {
                 wf.drain_loads(now);
                 wf.drain_stores(now);
-                let load_target = if vm == u8::MAX {
-                    now
-                } else {
-                    wf.loads_satisfied_at(now, vm as usize)
-                };
-                let store_target = if st == u8::MAX {
-                    now
-                } else {
-                    wf.stores_satisfied_at(now, st as usize)
-                };
+                let load_target =
+                    if vm == u8::MAX { now } else { wf.loads_satisfied_at(now, vm as usize) };
+                let store_target =
+                    if st == u8::MAX { now } else { wf.stores_satisfied_at(now, st as usize) };
                 let target = load_target.max(store_target);
                 if target > now {
                     wf.e_stall += target - now;
@@ -467,24 +482,51 @@ impl Cu {
     /// Snapshots this epoch's telemetry. `epoch_end` clamps boundary-
     /// spanning stall attributions to this epoch's window.
     pub fn collect(&self, epoch_end: Femtos) -> CuEpochStats {
+        let mut out = CuEpochStats::zeroed();
+        self.collect_into(epoch_end, &mut out, &mut CollectScratch::default());
+        out
+    }
+
+    /// Like [`Cu::collect`], but writes into an existing snapshot and
+    /// sorting scratch so steady-state epoch collection allocates nothing.
+    pub fn collect_into(
+        &self,
+        epoch_end: Femtos,
+        out: &mut CuEpochStats,
+        scratch: &mut CollectScratch,
+    ) {
         // Age ranks among live wavefronts.
-        let mut ages: Vec<(u64, usize)> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.active && !w.finished)
-            .map(|(i, w)| (w.age, i))
-            .collect();
+        let CollectScratch { ages, rank } = scratch;
+        ages.clear();
+        ages.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.active && !w.finished)
+                .map(|(i, w)| (w.age, i)),
+        );
         ages.sort_unstable();
-        let mut rank = vec![u32::MAX; self.slots.len()];
+        rank.clear();
+        rank.resize(self.slots.len(), u32::MAX);
         for (r, &(_, i)) in ages.iter().enumerate() {
             rank[i] = r as u32;
         }
-        let wf = self
-            .slots
-            .iter()
-            .enumerate()
-            .map(|(i, w)| WfEpochStats {
+        out.freq = self.freq;
+        out.issue_width = self.issue_width as u32;
+        out.committed = self.e_committed;
+        out.busy = self.e_busy;
+        out.mem_only = self.e_mem_only;
+        out.store_only = self.e_store_only;
+        out.idle = self.e_idle;
+        out.store_stall = self.e_store_stall;
+        out.lead_time = self.e_lead;
+        out.l1_hits = self.l1.hits();
+        out.l1_misses = self.l1.misses();
+        out.active_wavefronts = self.live_wavefronts();
+        out.op_mix = self.e_op_mix;
+        out.wf.truncate(self.slots.len());
+        for (i, w) in self.slots.iter().enumerate() {
+            let stats = WfEpochStats {
                 present: w.e_present || w.e_committed > 0,
                 uid: w.uid,
                 age_rank: rank[i],
@@ -504,23 +546,11 @@ impl Cu {
                 sched_wait: w.e_sched_wait,
                 lead_time: w.e_lead,
                 finished: w.finished,
-            })
-            .collect();
-        CuEpochStats {
-            freq: self.freq,
-            issue_width: self.issue_width as u32,
-            committed: self.e_committed,
-            busy: self.e_busy,
-            mem_only: self.e_mem_only,
-            store_only: self.e_store_only,
-            idle: self.e_idle,
-            store_stall: self.e_store_stall,
-            lead_time: self.e_lead,
-            l1_hits: self.l1.hits(),
-            l1_misses: self.l1.misses(),
-            active_wavefronts: self.live_wavefronts(),
-            op_mix: self.e_op_mix,
-            wf,
+            };
+            match out.wf.get_mut(i) {
+                Some(slot) => *slot = stats,
+                None => out.wf.push(stats),
+            }
         }
     }
 }

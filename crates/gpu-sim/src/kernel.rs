@@ -177,18 +177,16 @@ impl Kernel {
                         ));
                     }
                 }
-                Op::Load { pattern } | Op::Store { pattern } => {
-                    if pattern as usize >= self.patterns.len() {
-                        return Err(format!(
-                            "kernel {}: memory op at {} uses undefined pattern {}",
-                            self.name, i, pattern
-                        ));
-                    }
+                Op::Load { pattern } | Op::Store { pattern }
+                    if pattern as usize >= self.patterns.len() =>
+                {
+                    return Err(format!(
+                        "kernel {}: memory op at {} uses undefined pattern {}",
+                        self.name, i, pattern
+                    ));
                 }
-                Op::Valu { lat } => {
-                    if lat == 0 {
-                        return Err(format!("kernel {}: zero-latency VALU at {}", self.name, i));
-                    }
+                Op::Valu { lat: 0 } => {
+                    return Err(format!("kernel {}: zero-latency VALU at {}", self.name, i));
                 }
                 _ => {}
             }

@@ -216,10 +216,7 @@ impl MemSystem {
         }
         // The ack returns once the bank has accepted the write; on a miss
         // the fill completes in the background (write-back model).
-        AccessOutcome {
-            complete_at: svc_start + Femtos::from_nanos(self.cfg.store_ack_ns),
-            l2_hit,
-        }
+        AccessOutcome { complete_at: svc_start + Femtos::from_nanos(self.cfg.store_ack_ns), l2_hit }
     }
 
     /// Models per-CU miss-port throughput (MSHR issue rate): consecutive
@@ -282,7 +279,7 @@ mod tests {
         let t = Femtos::from_micros(1);
         let a = m.load(0, 0, t, CU_PERIOD);
         let b = m.load(1, 64, t, CU_PERIOD); // next line -> next bank
-        // Both miss; latency should be (nearly) identical since no shared server.
+                                             // Both miss; latency should be (nearly) identical since no shared server.
         let la = a.complete_at - t;
         let lb = b.complete_at - t;
         let diff = la.as_fs().abs_diff(lb.as_fs());

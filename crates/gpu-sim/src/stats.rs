@@ -127,6 +127,28 @@ pub struct CuEpochStats {
 }
 
 impl CuEpochStats {
+    /// An all-zero snapshot (1 MHz placeholder frequency) used to seed
+    /// reusable collection buffers before [`crate::Gpu::run_epoch_into`]
+    /// overwrites every field.
+    pub fn zeroed() -> Self {
+        CuEpochStats {
+            freq: Frequency::from_mhz(1),
+            issue_width: 0,
+            committed: 0,
+            busy: Femtos::ZERO,
+            mem_only: Femtos::ZERO,
+            store_only: Femtos::ZERO,
+            idle: Femtos::ZERO,
+            store_stall: Femtos::ZERO,
+            lead_time: Femtos::ZERO,
+            l1_hits: 0,
+            l1_misses: 0,
+            active_wavefronts: 0,
+            op_mix: OpMix::default(),
+            wf: Vec::new(),
+        }
+    }
+
     /// Instructions per CU-cycle over the epoch (uses the epoch duration).
     pub fn ipc(&self, epoch: Femtos) -> f64 {
         let cycles = self.freq.cycles_in(epoch);
@@ -164,6 +186,20 @@ pub struct EpochStats {
 }
 
 impl EpochStats {
+    /// An empty telemetry buffer suitable for repeated
+    /// [`crate::Gpu::run_epoch_into`] calls: the per-CU and per-wavefront
+    /// vectors grow on first use and are reused (no per-epoch allocation)
+    /// afterwards.
+    pub fn empty() -> Self {
+        EpochStats {
+            start: Femtos::ZERO,
+            duration: Femtos::ZERO,
+            cus: Vec::new(),
+            mem: MemEpochStats::default(),
+            done: false,
+        }
+    }
+
     /// Total instructions committed across a set of CUs (a V/f domain).
     pub fn committed_in(&self, cus: &[usize]) -> u64 {
         cus.iter().map(|&c| self.cus[c].committed).sum()

@@ -191,9 +191,7 @@ impl fmt::Display for Femtos {
 /// let f = Frequency::from_mhz(2000);
 /// assert_eq!(f.period().as_fs(), 500_000); // 0.5 ns
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Frequency(u32);
 
 impl Frequency {

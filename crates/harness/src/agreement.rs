@@ -7,17 +7,15 @@
 //! sampling the oracle's curve and recording whether the policy's choice
 //! matches the oracle's, and how many states apart they are. It is the
 //! most direct diagnostic of decision quality short of a full ED²P run.
+//!
+//! Implemented as a [`RunObserver`] on the session engine: the session is
+//! put in forced-sampling mode so the observer sees ground-truth curves
+//! even under non-oracle policies.
 
 use crate::runner::RunConfig;
-use dvfs::domain::DomainMap;
+use crate::session::{EpochCtx, RunObserver, Session};
 use dvfs::objective::SelectionContext;
-use gpu_sim::gpu::Gpu;
 use gpu_sim::kernel::App;
-use gpu_sim::stats::EpochStats;
-use gpu_sim::time::Frequency;
-use pcstall::oracle;
-use pcstall::policy::DecideCtx;
-use power::model::PowerModel;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate agreement between a design's choices and the oracle's.
@@ -62,71 +60,69 @@ impl Agreement {
     }
 }
 
+/// Scores each epoch's decisions against what the oracle would have chosen
+/// from that epoch's fork–pre-execute samples.
+#[derive(Debug, Default)]
+pub struct AgreementObserver {
+    agreement: Agreement,
+}
+
+impl AgreementObserver {
+    /// An empty scorer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The aggregate scored so far.
+    pub fn agreement(&self) -> Agreement {
+        self.agreement
+    }
+}
+
+impl RunObserver for AgreementObserver {
+    fn on_decisions(&mut self, ctx: &EpochCtx<'_>) {
+        let samples = ctx.samples.expect("agreement scoring needs per-epoch sampling");
+        let states = &ctx.cfg.states;
+        for (d, dec) in ctx.decisions.iter().enumerate() {
+            // `current` still holds the previous epoch's frequency here —
+            // the state the oracle's selection would switch away from.
+            let sel = SelectionContext {
+                states,
+                epoch: ctx.cfg.epoch,
+                power: ctx.power,
+                domain_cus: ctx.domains.cus(d).len(),
+                issue_width: ctx.cfg.gpu.issue_width,
+                total_cus: ctx.cfg.gpu.n_cus,
+                current: ctx.current[d],
+            };
+            let oracle_choice = ctx.cfg.objective.choose(&sel, samples.curve(d, states));
+            let oi = states.index_of(oracle_choice).expect("state in set");
+            let pi = states.index_of(dec.freq).expect("state in set");
+            let dist = oi.abs_diff(pi) as u64;
+            self.agreement.total += 1;
+            self.agreement.distance_sum += dist;
+            if dist == 0 {
+                self.agreement.exact += 1;
+            }
+            if dist <= 1 {
+                self.agreement.within_one += 1;
+            }
+        }
+    }
+}
+
 /// Runs `app` under `cfg`'s policy while oracle-sampling every epoch, and
 /// scores how closely the policy's per-domain choices track the oracle's.
 ///
 /// Costs one fork–pre-execute sampling round per epoch on top of the
 /// policy itself (11× a plain run), so use short workloads.
 pub fn measure(app: &App, cfg: &RunConfig, max_epochs: usize) -> Agreement {
-    let mut gpu = Gpu::new(cfg.gpu, app.clone());
-    let domains = DomainMap::grouped(cfg.gpu.n_cus, cfg.group);
-    let mut policy = cfg.policy.build();
-    let power = PowerModel::new(cfg.power);
-    let init = Frequency::from_mhz(cfg.gpu.initial_freq_mhz);
-    let mut current: Vec<Frequency> = vec![init; domains.len()];
-    let mut prev_stats: Option<EpochStats> = None;
-    let mut agreement = Agreement::default();
-
-    for _ in 0..max_epochs {
-        if gpu.is_done() {
-            break;
-        }
-        let samples = oracle::sample(&gpu, cfg.epoch.duration, &cfg.states, &domains);
-        let decisions = {
-            let ctx = DecideCtx {
-                stats: prev_stats.as_ref(),
-                gpu: &gpu,
-                domains: &domains,
-                states: &cfg.states,
-                epoch: cfg.epoch,
-                power: &power,
-                objective: cfg.objective,
-                current: &current,
-                samples: if cfg.policy.needs_oracle() { Some(&samples) } else { None },
-            };
-            policy.decide(&ctx)
-        };
-        // What would the oracle have chosen for each domain?
-        for (d, dec) in decisions.iter().enumerate() {
-            let sel = SelectionContext {
-                states: &cfg.states,
-                epoch: cfg.epoch,
-                power: &power,
-                domain_cus: domains.cus(d).len(),
-                issue_width: cfg.gpu.issue_width,
-                total_cus: cfg.gpu.n_cus,
-                current: current[d],
-            };
-            let oracle_choice = cfg.objective.choose(&sel, samples.curve(d, &cfg.states));
-            let oi = cfg.states.index_of(oracle_choice).expect("state in set");
-            let pi = cfg.states.index_of(dec.freq).expect("state in set");
-            let dist = oi.abs_diff(pi) as u64;
-            agreement.total += 1;
-            agreement.distance_sum += dist;
-            if dist == 0 {
-                agreement.exact += 1;
-            }
-            if dist <= 1 {
-                agreement.within_one += 1;
-            }
-        }
-        for (d, dec) in decisions.iter().enumerate() {
-            gpu.set_frequency_of(domains.cus(d), dec.freq, cfg.epoch.transition);
-            current[d] = dec.freq;
-        }
-        prev_stats = Some(gpu.run_epoch(cfg.epoch.duration));
-    }
-    agreement
+    let mut capped = cfg.clone();
+    capped.max_epochs = max_epochs;
+    let mut session = Session::new(app, &capped).sampling_every_epoch(true);
+    let mut scorer = AgreementObserver::new();
+    session.run(&mut [&mut scorer]);
+    scorer.agreement()
 }
 
 #[cfg(test)]

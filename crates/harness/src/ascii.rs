@@ -112,10 +112,8 @@ mod tests {
 
     #[test]
     fn strip_chart_aligns_labels() {
-        let s = strip_chart(&[
-            ("ab".to_string(), vec![0.0, 1.0]),
-            ("a".to_string(), vec![1.0, 0.0]),
-        ]);
+        let s =
+            strip_chart(&[("ab".to_string(), vec![0.0, 1.0]), ("a".to_string(), vec![1.0, 0.0])]);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         // Labels padded to the same width.

@@ -7,9 +7,9 @@
 //! switches to the paper's 64-CU platform at standard scale.
 
 use crate::report::{f3, markdown_table, pct};
-use crate::runner::RunConfig;
+use crate::runner::{run_with_sensitivity_trace, RunConfig};
 use crate::studies::{linearity_study, probe_series, PcScope};
-use crate::sweeps::{default_threads, run_grid, SuiteCell};
+use crate::sweeps::{default_threads, global_baseline_cache, run_grid, SuiteCell};
 use dvfs::epoch::EpochConfig;
 use dvfs::objective::Objective;
 use dvfs::states::FreqStates;
@@ -135,7 +135,10 @@ fn grid_with_baseline_on(
     let mut base = preset.base_cfg(PolicyKind::Static(1700), epoch_us);
     base.objective = objective;
     let cells = run_grid(&apps, policies, &base, preset.threads);
-    let baselines = run_grid(&apps, &[PolicyKind::Static(1700)], &base, preset.threads);
+    // Static baselines are objective-independent, so figures sweeping the
+    // same apps/platform share them through the process-wide cache instead
+    // of re-simulating once per figure.
+    let baselines = global_baseline_cache().baselines(&apps, &base, 1700, preset.threads);
     (apps, cells, baselines)
 }
 
@@ -240,7 +243,9 @@ pub fn fig01b(preset: &Preset) -> FigureOutput {
         title: "Mean prediction accuracy by epoch duration".into(),
         headers: vec!["epoch (µs)".into(), "CRISP".into(), "ACCREAC".into(), "PCSTALL".into()],
         rows,
-        notes: vec!["Paper shape: PCSTALL stays high as epochs shrink; reactive designs degrade.".into()],
+        notes: vec![
+            "Paper shape: PCSTALL stays high as epochs shrink; reactive designs degrade.".into()
+        ],
     }
 }
 
@@ -270,7 +275,9 @@ pub fn fig05(preset: &Preset) -> FigureOutput {
     }
 }
 
-/// Figure 6: sensitivity-vs-time profiles of dgemm, hacc, BwdBN, xsbench.
+/// Figure 6: sensitivity-vs-time profiles of dgemm, hacc, BwdBN, xsbench,
+/// recorded in the policy loop by the session's sensitivity-trace observer
+/// (forced fork–pre-execute sampling at the static 1.7 GHz baseline).
 pub fn fig06(preset: &Preset) -> FigureOutput {
     let names = ["dgemm", "hacc", "BwdBN", "xsbench"];
     let epochs = if preset.full { 60 } else { 25 };
@@ -278,8 +285,11 @@ pub fn fig06(preset: &Preset) -> FigureOutput {
     let mut notes = Vec::new();
     for name in names {
         let app = workloads::by_name(name, preset.scale).expect("registered");
-        let series = probe_series(&app, &preset.gpu, Femtos::from_micros(1), epochs);
-        let trace = series.cu_trace(0);
+        let mut cfg = preset.base_cfg(PolicyKind::Static(1700), 1);
+        cfg.max_epochs = epochs;
+        let r = run_with_sensitivity_trace(&app, &cfg);
+        let series = r.sensitivity_trace.expect("tracing run records a trace");
+        let trace = series.domain_trace(0);
         let mean = trace.iter().sum::<f64>() / trace.len().max(1) as f64;
         let min = trace.iter().copied().fold(f64::INFINITY, f64::min);
         let max = trace.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -292,7 +302,10 @@ pub fn fig06(preset: &Preset) -> FigureOutput {
             pct(series.epoch_to_epoch_variability()),
         ]);
         let sparkline: Vec<String> = trace.iter().take(20).map(|v| format!("{v:.2}")).collect();
-        notes.push(format!("{name} CU0 sensitivity trace (first 20 epochs): {}", sparkline.join(", ")));
+        notes.push(format!(
+            "{name} CU0 sensitivity trace (first 20 epochs): {}",
+            sparkline.join(", ")
+        ));
     }
     FigureOutput {
         id: "Figure 6".into(),
@@ -326,8 +339,7 @@ pub fn fig07(preset: &Preset) -> FigureOutput {
     let avg_1us = one_us.iter().sum::<f64>() / one_us.len().max(1) as f64;
     rows.push(vec!["**average**".into(), pct(avg_1us)]);
 
-    let mut notes =
-        vec![format!("Suite average at 1 µs: {} (paper: ~37%).", pct(avg_1us))];
+    let mut notes = vec![format!("Suite average at 1 µs: {} (paper: ~37%).", pct(avg_1us))];
     // Part (b): variability versus epoch duration, suite average.
     let durations: &[u64] = if preset.full { &[1, 5, 10, 50, 100] } else { &[1, 5, 10] };
     let mut trend = Vec::new();
@@ -447,11 +459,8 @@ pub fn fig11(preset: &Preset) -> FigureOutput {
     let series = probe_series(&app, &preset.gpu, Femtos::from_micros(1), epochs);
     let max_rank = if preset.full { 12 } else { 8 };
     let by_rank = series.change_by_age_rank(max_rank);
-    let mut rows: Vec<Vec<String>> = by_rank
-        .iter()
-        .enumerate()
-        .map(|(r, v)| vec![format!("rank {r}"), pct(*v)])
-        .collect();
+    let mut rows: Vec<Vec<String>> =
+        by_rank.iter().enumerate().map(|(r, v)| vec![format!("rank {r}"), pct(*v)]).collect();
 
     // Part (b): offset sweep, averaged over a few representative apps.
     let offset_apps = ["comd", "dgemm", "BwdBN", "hacc"];
@@ -513,7 +522,7 @@ pub fn fig14(preset: &Preset) -> FigureOutput {
         headers,
         rows,
         notes: vec![
-            "Paper: reactive baselines ~60%, ACCREAC 63%, PCSTALL up to 81%, ACCPC ~90%.".into(),
+            "Paper: reactive baselines ~60%, ACCREAC 63%, PCSTALL up to 81%, ACCPC ~90%.".into()
         ],
     }
 }
@@ -554,7 +563,7 @@ pub fn fig15(preset: &Preset) -> FigureOutput {
         headers,
         rows,
         notes: vec![
-            "Paper: ORACLE up to 54% improvement, PCSTALL ~48%, ACCPC ~51%, CRISP ~23%.".into(),
+            "Paper: ORACLE up to 54% improvement, PCSTALL ~48%, ACCPC ~51%, CRISP ~23%.".into()
         ],
     }
 }
@@ -563,12 +572,8 @@ pub fn fig15(preset: &Preset) -> FigureOutput {
 pub fn fig16(preset: &Preset) -> FigureOutput {
     let apps = preset.apps();
     let base = preset.base_cfg(PolicyKind::PcStall(PcStallConfig::default()), 1);
-    let cells = run_grid(
-        &apps,
-        &[PolicyKind::PcStall(PcStallConfig::default())],
-        &base,
-        preset.threads,
-    );
+    let cells =
+        run_grid(&apps, &[PolicyKind::PcStall(PcStallConfig::default())], &base, preset.threads);
     let states = FreqStates::paper();
     let mut rows = Vec::new();
     for cell in &cells {
@@ -639,14 +644,16 @@ pub fn fig18a(preset: &Preset) -> FigureOutput {
         let mut base = preset.base_cfg(PolicyKind::Static(2200), 1);
         base.objective = Objective::EnergyUnderPerfLoss(limit);
         let cells = run_grid(&apps, &policies, &base, preset.threads);
-        let baselines = run_grid(&apps, &[PolicyKind::Static(2200)], &base, preset.threads);
+        let baselines = global_baseline_cache().baselines(&apps, &base, 2200, preset.threads);
         let n = policies.len();
         let mut row = vec![pct(limit)];
         for pi in 0..n {
             let savings: Vec<f64> = cells
                 .chunks(n)
                 .zip(&baselines)
-                .map(|(app_cells, b)| 1.0 - app_cells[pi].result.metrics.energy_vs(&b.result.metrics))
+                .map(|(app_cells, b)| {
+                    1.0 - app_cells[pi].result.metrics.energy_vs(&b.result.metrics)
+                })
                 .collect();
             let losses: Vec<f64> = cells
                 .chunks(n)
@@ -666,15 +673,15 @@ pub fn fig18a(preset: &Preset) -> FigureOutput {
         headers: vec!["perf-loss limit".into(), "CRISP".into(), "PCSTALL".into()],
         rows,
         notes: vec![
-            "Paper: PCSTALL 9.6% savings at the 5% limit (CRISP 2.1%); 19.9% at 10% (CRISP 4.7%).".into(),
+            "Paper: PCSTALL 9.6% savings at the 5% limit (CRISP 2.1%); 19.9% at 10% (CRISP 4.7%)."
+                .into(),
         ],
     }
 }
 
 /// Figure 18(b): geomean ED²P improvement by V/f-domain granularity.
 pub fn fig18b(preset: &Preset) -> FigureOutput {
-    let groups: Vec<usize> =
-        if preset.full { vec![1, 2, 4, 8, 16, 32] } else { vec![1, 4, 16] };
+    let groups: Vec<usize> = if preset.full { vec![1, 2, 4, 8, 16, 32] } else { vec![1, 4, 16] };
     let policies = [
         PolicyKind::Reactive(CuEstimator::Crisp),
         PolicyKind::PcStall(PcStallConfig::default()),
@@ -686,7 +693,7 @@ pub fn fig18b(preset: &Preset) -> FigureOutput {
         let mut base = preset.base_cfg(PolicyKind::Static(1700), 1);
         base.group = group;
         let cells = run_grid(&apps, &policies, &base, preset.threads);
-        let baselines = run_grid(&apps, &[PolicyKind::Static(1700)], &base, preset.threads);
+        let baselines = global_baseline_cache().baselines(&apps, &base, 1700, preset.threads);
         let n = policies.len();
         let mut row = vec![format!("{group} CU")];
         for pi in 0..n {
@@ -803,12 +810,7 @@ mod tests {
     use super::*;
 
     fn tiny_preset() -> Preset {
-        Preset {
-            gpu: GpuConfig::tiny(),
-            scale: Scale::Quick,
-            threads: 4,
-            full: false,
-        }
+        Preset { gpu: GpuConfig::tiny(), scale: Scale::Quick, threads: 4, full: false }
     }
 
     #[test]

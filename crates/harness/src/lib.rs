@@ -2,10 +2,12 @@
 //!
 //! Reproduces every figure and table of the paper's evaluation:
 //!
-//! * [`runner`] — policy-in-the-loop epoch simulation of one application:
-//!   fork–pre-execute sampling where the design requires it, frequency
-//!   application with transition stalls, energy integration, accuracy
-//!   scoring and residency tracking.
+//! * [`session`] — the layered run engine: a [`session::Session`] owns the
+//!   GPU and the policy and steps one epoch at a time, while energy
+//!   integration, accuracy scoring, residency tracking, the power-cap
+//!   manager and sensitivity tracing attach as [`session::RunObserver`]s.
+//! * [`runner`] — policy-in-the-loop simulation of one application: a thin
+//!   composition of [`session`] with the standard observer set.
 //! * [`studies`] — the characterization studies (Figures 5–11) built on
 //!   fork-probed sensitivity traces.
 //! * [`sweeps`] — parallel (workload × design) grids.
@@ -28,8 +30,10 @@ pub mod ascii;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod studies;
 pub mod sweeps;
 
 pub use figures::{FigureOutput, Preset};
-pub use runner::{run, RunConfig, RunResult};
+pub use runner::{run, run_with_sensitivity_trace, RunConfig, RunResult};
+pub use session::{RunObserver, SensitivityTrace, Session};

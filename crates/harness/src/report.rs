@@ -46,8 +46,7 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Res
     };
     let _ = writeln!(out, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
     for row in rows {
-        let _ =
-            writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
     }
     fs::write(path, out)
 }

@@ -1,20 +1,19 @@
-//! The per-application experiment runner: policy-in-the-loop epoch
-//! simulation with energy accounting, accuracy scoring and frequency
-//! residency tracking.
+//! The per-application experiment runner: a thin composition of the
+//! [`crate::session`] engine with the standard observer set (energy
+//! accounting, accuracy scoring, frequency-residency tracking and the
+//! optional Section 5.4 power-cap manager).
 
-use dvfs::domain::DomainMap;
+use crate::session::{
+    AccuracyObserver, EnergyObserver, PowerCapObserver, ResidencyObserver, RunObserver,
+    SensitivityTrace, SensitivityTraceObserver, Session,
+};
 use dvfs::epoch::EpochConfig;
 use dvfs::objective::Objective;
 use dvfs::states::FreqStates;
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::Gpu;
 use gpu_sim::kernel::App;
-use gpu_sim::stats::EpochStats;
-use gpu_sim::time::Frequency;
-use pcstall::accuracy::AccuracyMeter;
-use pcstall::oracle;
-use pcstall::policy::{DecideCtx, PolicyKind};
-use power::energy::{EnergyAccount, RunMetrics};
+use pcstall::policy::PolicyKind;
+use power::energy::RunMetrics;
 use power::model::{PowerConfig, PowerModel};
 use serde::{Deserialize, Serialize};
 
@@ -91,92 +90,61 @@ pub struct RunResult {
     pub freq_residency: Vec<f64>,
     /// Whether the application ran to completion within the epoch cap.
     pub completed: bool,
+    /// Per-epoch, per-domain frequency-sensitivity trace, populated when
+    /// the run attached a [`SensitivityTraceObserver`] (see
+    /// [`run_with_sensitivity_trace`]).
+    pub sensitivity_trace: Option<SensitivityTrace>,
 }
 
 impl RunResult {
     /// Residency-weighted mean frequency in MHz.
     pub fn mean_freq_mhz(&self, states: &FreqStates) -> f64 {
-        states
-            .iter()
-            .zip(&self.freq_residency)
-            .map(|(f, &r)| f.mhz() as f64 * r)
-            .sum()
+        states.iter().zip(&self.freq_residency).map(|(f, &r)| f.mhz() as f64 * r).sum()
     }
 }
 
 /// Runs `app` to completion (or the epoch cap) under `cfg`'s policy.
 pub fn run(app: &App, cfg: &RunConfig) -> RunResult {
-    let mut gpu = Gpu::new(cfg.gpu, app.clone());
-    let domains = DomainMap::grouped(cfg.gpu.n_cus, cfg.group);
-    let mut policy = cfg.policy.build();
+    run_inner(app, cfg, false)
+}
+
+/// Like [`run`], but additionally forces fork–pre-execute sampling every
+/// epoch and records a ground-truth [`SensitivityTrace`] into
+/// [`RunResult::sensitivity_trace`] (the Figure 6 measurement path).
+pub fn run_with_sensitivity_trace(app: &App, cfg: &RunConfig) -> RunResult {
+    run_inner(app, cfg, true)
+}
+
+fn run_inner(app: &App, cfg: &RunConfig, trace: bool) -> RunResult {
     let power = PowerModel::new(cfg.power);
-    let mut acct = EnergyAccount::new(power);
-    let mut meter = AccuracyMeter::new();
-    let init = Frequency::from_mhz(cfg.gpu.initial_freq_mhz);
-    let mut current: Vec<Frequency> = vec![init; domains.len()];
-    let mut residency = vec![0u64; cfg.states.len()];
-    let mut prev_stats: Option<EpochStats> = None;
-    let mut epochs = 0usize;
-    let mut cap_manager = cfg
-        .power_cap
-        .map(|c| dvfs::hierarchy::PowerCapManager::new(c, cfg.states.clone()));
-    let mut allowed = cfg.states.clone();
-
-    while !gpu.is_done() && epochs < cfg.max_epochs {
-        let samples = if cfg.policy.needs_oracle() {
-            Some(oracle::sample(&gpu, cfg.epoch.duration, &allowed, &domains))
-        } else {
-            None
-        };
-        let decisions = {
-            let ctx = DecideCtx {
-                stats: prev_stats.as_ref(),
-                gpu: &gpu,
-                domains: &domains,
-                states: &allowed,
-                epoch: cfg.epoch,
-                power: &power,
-                objective: cfg.objective,
-                current: &current,
-                samples: samples.as_ref(),
-            };
-            policy.decide(&ctx)
-        };
-        for (d, dec) in decisions.iter().enumerate() {
-            gpu.set_frequency_of(domains.cus(d), dec.freq, cfg.epoch.transition);
-            current[d] = dec.freq;
+    let mut session = Session::new(app, cfg).sampling_every_epoch(trace);
+    let mut energy = EnergyObserver::new(power);
+    let mut accuracy = AccuracyObserver::new();
+    let mut residency = ResidencyObserver::new(cfg.states.clone());
+    let mut cap = cfg.power_cap.map(|c| PowerCapObserver::new(c, cfg.states.clone(), power));
+    let mut tracer = trace.then(SensitivityTraceObserver::new);
+    {
+        let mut observers: Vec<&mut dyn RunObserver> =
+            vec![&mut energy, &mut accuracy, &mut residency];
+        if let Some(c) = cap.as_mut() {
+            observers.push(c);
         }
-        let stats = gpu.run_epoch(cfg.epoch.duration);
-        for (d, dec) in decisions.iter().enumerate() {
-            let a_idx = allowed.index_of(dec.freq).expect("chosen state not in allowed set");
-            meter.observe(dec.predicted[a_idx], stats.committed_in(domains.cus(d)) as f64);
-            let idx = cfg.states.index_of(dec.freq).expect("chosen state not in set");
-            residency[idx] += 1;
+        if let Some(t) = tracer.as_mut() {
+            observers.push(t);
         }
-        let before = acct.energy_j();
-        acct.add_epoch(&stats);
-        if let Some(mgr) = cap_manager.as_mut() {
-            // The higher-level manager observes chip energy at coarse
-            // intervals and adjusts the range the controller may use.
-            mgr.record_epoch(acct.energy_j() - before, cfg.epoch.duration);
-            allowed = mgr.allowed();
-        }
-        prev_stats = Some(stats);
-        epochs += 1;
+        session.run(&mut observers);
     }
-
-    let completed = gpu.is_done();
-    let delay = gpu.completion_time().unwrap_or_else(|| gpu.now());
-    let total: u64 = residency.iter().sum::<u64>().max(1);
-    RunResult {
-        policy: policy.name(),
-        app: app.name.clone(),
-        metrics: acct.finish(delay),
-        accuracy: meter.mean(),
-        epochs,
-        freq_residency: residency.iter().map(|&r| r as f64 / total as f64).collect(),
-        completed,
+    let mut result = session.finalize();
+    energy.finish(&mut result);
+    accuracy.finish(&mut result);
+    residency.finish(&mut result);
+    if let Some(c) = cap.as_mut() {
+        c.finish(&mut result);
     }
+    if let Some(t) = tracer.as_mut() {
+        t.finish(&mut result);
+    }
+    result
 }
 
 /// Runs the static-1.7 GHz baseline every paper figure normalizes against.
@@ -189,6 +157,8 @@ pub fn run_static_baseline(app: &App, cfg: &RunConfig) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dvfs::hierarchy::PowerCapConfig;
+    use gpu_sim::time::Frequency;
     use pcstall::estimators::CuEstimator;
     use pcstall::policy::PcStallConfig;
     use workloads::{by_name, Scale};
@@ -236,10 +206,7 @@ mod tests {
     #[test]
     fn memory_bound_app_clocks_lower_than_compute_bound() {
         let states = FreqStates::paper();
-        let xs = run(
-            &by_name("xsbench", Scale::Quick).unwrap(),
-            &quick_cfg(PolicyKind::Oracle),
-        );
+        let xs = run(&by_name("xsbench", Scale::Quick).unwrap(), &quick_cfg(PolicyKind::Oracle));
         let dg = run(&by_name("dgemm", Scale::Quick).unwrap(), &quick_cfg(PolicyKind::Oracle));
         assert!(
             xs.mean_freq_mhz(&states) < dg.mean_freq_mhz(&states),
@@ -247,5 +214,54 @@ mod tests {
             xs.mean_freq_mhz(&states),
             dg.mean_freq_mhz(&states)
         );
+    }
+
+    #[test]
+    fn tight_power_cap_with_custom_states_never_panics() {
+        // Regression: the cap manager used to rebuild its narrowed range
+        // with a hardcoded 100 MHz step, producing off-grid states for
+        // custom sets and panicking residency accounting. It now returns a
+        // prefix of the configured set.
+        let app = by_name("dgemm", Scale::Quick).unwrap();
+        let mut cfg = quick_cfg(PolicyKind::Oracle);
+        cfg.states = FreqStates::from_states(vec![
+            Frequency::from_mhz(1000),
+            Frequency::from_mhz(1150),
+            Frequency::from_mhz(1333),
+            Frequency::from_mhz(1633),
+            Frequency::from_mhz(2000),
+        ]);
+        // A cap far below what dgemm draws, so the manager narrows hard.
+        cfg.power_cap = Some(PowerCapConfig::new(1e-3));
+        let r = run(&app, &cfg);
+        let sum: f64 = r.freq_residency.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "residency sum {}", sum);
+        assert_eq!(r.freq_residency.len(), cfg.states.len());
+        assert!(r.epochs > 0);
+    }
+
+    #[test]
+    fn sensitivity_trace_is_populated_and_shaped() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let cfg = quick_cfg(PolicyKind::Static(1700));
+        let r = run_with_sensitivity_trace(&app, &cfg);
+        let trace = r.sensitivity_trace.expect("trace must be recorded");
+        assert_eq!(trace.epochs(), r.epochs);
+        assert_eq!(trace.per_domain[0].len(), cfg.gpu.n_cus / cfg.group);
+        assert!(trace.epoch_to_epoch_variability().is_finite());
+        // The plain runner does not pay the tracing cost.
+        assert!(run(&app, &cfg).sensitivity_trace.is_none());
+    }
+
+    #[test]
+    fn session_path_matches_legacy_loop_shape() {
+        // The composed observer path must reproduce the monolithic loop:
+        // same epoch count, energy, accuracy and residency for a
+        // deterministic policy.
+        let app = by_name("hacc", Scale::Quick).unwrap();
+        let cfg = quick_cfg(PolicyKind::PcStall(PcStallConfig::default()));
+        let a = run(&app, &cfg);
+        let b = run(&app, &cfg);
+        assert_eq!(a, b);
     }
 }

@@ -6,18 +6,24 @@
 //! every epoch boundary, fork probe copies to measure that epoch's true
 //! frequency response from identical starting conditions.
 
+use crate::runner::RunConfig;
+use crate::session::{EpochCtx, RunObserver, Session};
+use dvfs::epoch::EpochConfig;
+use dvfs::objective::Objective;
 use dvfs::states::FreqStates;
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::Gpu;
 use gpu_sim::isa::Pc;
 use gpu_sim::kernel::App;
+use gpu_sim::stats::EpochStats;
 use gpu_sim::time::Femtos;
-use pcstall::oracle;
 use pcstall::estimators::WfStallEstimator;
+use pcstall::oracle;
+use pcstall::policy::PolicyKind;
 use pcstall::sensitivity::fit_line;
+use power::model::PowerConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-
 
 /// Relative change between two sensitivity observations, with a magnitude
 /// floor: pairs where both values are below `floor` carry no phase-change
@@ -25,7 +31,7 @@ use std::collections::HashMap;
 /// are skipped; otherwise the denominator is floored so instruction-count
 /// quantization noise on near-zero sensitivities cannot dominate the
 /// average.
-fn floored_change(prev: f64, cur: f64, floor: f64) -> Option<f64> {
+pub(crate) fn floored_change(prev: f64, cur: f64, floor: f64) -> Option<f64> {
     if prev.abs() < floor && cur.abs() < floor {
         return None;
     }
@@ -34,7 +40,7 @@ fn floored_change(prev: f64, cur: f64, floor: f64) -> Option<f64> {
 }
 
 /// Average of [`floored_change`] over consecutive values of a series.
-fn avg_floored_change(series: &[f64], floor: f64) -> f64 {
+pub(crate) fn avg_floored_change(series: &[f64], floor: f64) -> f64 {
     let mut total = 0.0;
     let mut count = 0usize;
     for w in series.windows(2) {
@@ -88,24 +94,69 @@ pub struct ProbeSeries {
 /// wavefront is dominated by instruction-count quantization noise, whereas
 /// the stall-time fraction is a smooth signal (and is also exactly the
 /// quantity the PC table stores).
-pub fn probe_series(app: &App, gpu_cfg: &GpuConfig, epoch: Femtos, max_epochs: usize) -> ProbeSeries {
-    let states = FreqStates::paper();
-    let df = (states.max().mhz() - states.min().mhz()) as f64;
-    let est = WfStallEstimator::default();
-    let mut gpu = Gpu::new(*gpu_cfg, app.clone());
-    let mut cu_sens = Vec::new();
-    let mut wf = Vec::new();
-    for _ in 0..max_epochs {
-        if gpu.is_done() {
-            break;
+pub fn probe_series(
+    app: &App,
+    gpu_cfg: &GpuConfig,
+    epoch: Femtos,
+    max_epochs: usize,
+) -> ProbeSeries {
+    // The study rides the session engine with a static policy at the
+    // platform's initial frequency (a timing no-op: re-applying the current
+    // frequency incurs no transition), attaching the probes as an observer.
+    let cfg = RunConfig {
+        gpu: *gpu_cfg,
+        epoch: EpochConfig::with_transition(epoch, Femtos::ZERO),
+        group: 1,
+        objective: Objective::MinEd2p,
+        states: FreqStates::paper(),
+        power: PowerConfig::default(),
+        policy: PolicyKind::Static(gpu_cfg.initial_freq_mhz),
+        max_epochs,
+        power_cap: None,
+    };
+    let mut session = Session::new(app, &cfg);
+    let mut probe = ProbeObserver::new(epoch);
+    session.run(&mut [&mut probe]);
+    ProbeSeries { epoch, cu_sens: probe.cu_sens, wf: probe.wf }
+}
+
+/// The probing half of [`probe_series`]: forks ground-truth two-point
+/// probes before each epoch runs and extracts wavefront-level estimates
+/// from the epoch's telemetry afterwards.
+struct ProbeObserver {
+    states: FreqStates,
+    est: WfStallEstimator,
+    epoch: Femtos,
+    cu_sens: Vec<Vec<f64>>,
+    wf: Vec<Vec<Vec<WfProbe>>>,
+}
+
+impl ProbeObserver {
+    fn new(epoch: Femtos) -> Self {
+        ProbeObserver {
+            states: FreqStates::paper(),
+            est: WfStallEstimator::default(),
+            epoch,
+            cu_sens: Vec::new(),
+            wf: Vec::new(),
         }
-        let (lo, hi) = oracle::probe_two_point(&gpu, epoch, &states);
-        let mut epoch_cu = Vec::with_capacity(gpu.n_cus());
-        for c in 0..gpu.n_cus() {
+    }
+}
+
+impl RunObserver for ProbeObserver {
+    fn on_decisions(&mut self, ctx: &EpochCtx<'_>) {
+        // Fires before frequencies are applied, so the probe forks from the
+        // exact pre-epoch state.
+        let df = (self.states.max().mhz() - self.states.min().mhz()) as f64;
+        let (lo, hi) = oracle::probe_two_point(ctx.gpu, self.epoch, &self.states);
+        let mut epoch_cu = Vec::with_capacity(ctx.gpu.n_cus());
+        for c in 0..ctx.gpu.n_cus() {
             epoch_cu.push((hi.cus[c].committed as f64 - lo.cus[c].committed as f64) / df);
         }
-        cu_sens.push(epoch_cu);
-        let stats = gpu.run_epoch(epoch);
+        self.cu_sens.push(epoch_cu);
+    }
+
+    fn on_epoch(&mut self, _ctx: &EpochCtx<'_>, stats: &EpochStats) {
         let epoch_wf = stats
             .cus
             .iter()
@@ -116,18 +167,18 @@ pub fn probe_series(app: &App, gpu_cfg: &GpuConfig, epoch: Femtos, max_epochs: u
                         present: w.present && w.committed > 0,
                         age_rank: w.age_rank,
                         start_pc: w.start_pc,
-                        sensitivity: est
-                            .estimate(w, cu.freq, epoch)
-                            .linearize(states.min(), states.max())
+                        sensitivity: self
+                            .est
+                            .estimate(w, cu.freq, self.epoch)
+                            .linearize(self.states.min(), self.states.max())
                             .s,
-                        contention: est.contention(w, epoch),
+                        contention: self.est.contention(w, self.epoch),
                     })
                     .collect()
             })
             .collect();
-        wf.push(epoch_wf);
+        self.wf.push(epoch_wf);
     }
-    ProbeSeries { epoch, cu_sens, wf }
 }
 
 impl ProbeSeries {
@@ -220,16 +271,14 @@ impl ProbeSeries {
         let mut actual_sums = Vec::new();
         for epoch in &self.wf {
             for slots in epoch {
-                let sum: f64 =
-                    slots.iter().filter(|w| w.present).map(|w| w.sensitivity).sum();
+                let sum: f64 = slots.iter().filter(|w| w.present).map(|w| w.sensitivity).sum();
                 actual_sums.push(sum.abs());
             }
         }
         if actual_sums.is_empty() {
             return 0.0;
         }
-        let floor =
-            (0.25 * actual_sums.iter().sum::<f64>() / actual_sums.len() as f64).max(1e-9);
+        let floor = (0.25 * actual_sums.iter().sum::<f64>() / actual_sums.len() as f64).max(1e-9);
 
         let mut table: HashMap<(u64, Pc), f64> = HashMap::new();
         let mut last_wf: HashMap<u64, f64> = HashMap::new();
@@ -370,7 +419,7 @@ pub fn linearity_study(
     let mut curves = Vec::new();
     let mut epoch_idx = 0usize;
     while curves.len() < n_samples && !gpu.is_done() && epoch_idx < n_samples * sample_stride * 4 {
-        if epoch_idx % sample_stride == 0 {
+        if epoch_idx.is_multiple_of(sample_stride) {
             let all = oracle::sample_uniform(&gpu, epoch, &states);
             // Record the busiest CU's curve for this sample.
             let busiest = (0..gpu.n_cus())

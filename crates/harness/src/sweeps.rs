@@ -1,11 +1,14 @@
-//! Parallel suite execution: (workload × design) grids, epoch-duration
-//! sweeps and V/f-domain-granularity sweeps.
+//! Parallel suite execution: (workload × design) grids and the keyed
+//! static-baseline cache that keeps multi-figure sweeps from re-simulating
+//! the same normalization run.
 
 use crate::runner::{run, RunConfig, RunResult};
-use crossbeam::channel;
 use gpu_sim::kernel::App;
 use pcstall::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// One cell of a suite grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,6 +21,32 @@ pub struct SuiteCell {
     pub result: RunResult,
 }
 
+/// Applies `f` to every item on a pool of `threads` scoped workers
+/// (dynamic load balancing via a shared index); results preserve item
+/// order.
+pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(items.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                *slots[idx].lock().expect("result slot") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot").expect("worker filled every slot"))
+        .collect()
+}
+
 /// Runs every `(app, policy)` pair, load-balanced over `threads` workers.
 /// Results preserve grid order (apps outer, policies inner).
 pub fn run_grid(
@@ -26,42 +55,12 @@ pub fn run_grid(
     base: &RunConfig,
     threads: usize,
 ) -> Vec<SuiteCell> {
-    let jobs: Vec<(usize, &App, PolicyKind)> = apps
-        .iter()
-        .enumerate()
-        .flat_map(|(ai, app)| {
-            policies
-                .iter()
-                .enumerate()
-                .map(move |(pi, &p)| (ai * policies.len() + pi, app, p))
-        })
-        .collect();
-    let (tx_job, rx_job) = channel::unbounded();
-    for job in &jobs {
-        tx_job.send(*job).expect("queue send");
-    }
-    drop(tx_job);
-    let (tx_res, rx_res) = channel::unbounded();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            let rx_job = rx_job.clone();
-            let tx_res = tx_res.clone();
-            scope.spawn(move || {
-                while let Ok((idx, app, policy)) = rx_job.recv() {
-                    let cfg = RunConfig { policy, ..base.clone() };
-                    let result = run(app, &cfg);
-                    tx_res
-                        .send((idx, SuiteCell { app: app.name.clone(), policy: policy.name(), result }))
-                        .expect("result send");
-                }
-            });
-        }
-        drop(tx_res);
-        let mut out: Vec<Option<SuiteCell>> = vec![None; jobs.len()];
-        for (idx, cell) in rx_res {
-            out[idx] = Some(cell);
-        }
-        out.into_iter().map(|c| c.expect("missing grid cell")).collect()
+    let jobs: Vec<(&App, PolicyKind)> =
+        apps.iter().flat_map(|app| policies.iter().map(move |&p| (app, p))).collect();
+    parallel_map(&jobs, threads, |&(app, policy)| {
+        let cfg = RunConfig { policy, ..base.clone() };
+        let result = run(app, &cfg);
+        SuiteCell { app: app.name.clone(), policy: policy.name(), result }
     })
 }
 
@@ -71,6 +70,121 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
 }
 
+/// A keyed cache of static-baseline runs.
+///
+/// Every paper figure normalizes against a static run of the same
+/// application on the same platform, and multi-figure sweeps used to
+/// re-simulate that baseline once per figure (and once per epoch-sweep
+/// point). The cache keys on everything the result depends on — app
+/// identity, GPU config, epoch timing, domain grouping, state set, power
+/// model, static frequency, epoch cap and power cap — and deliberately
+/// excludes the objective: a static policy never consults it, so figures
+/// with different objectives share baselines.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    inner: Mutex<HashMap<String, RunResult>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(app: &App, cfg: &RunConfig) -> String {
+        // The app signature captures name plus workload shape so reduced
+        // and full variants of the same benchmark never collide.
+        let code: usize = app.kernels.iter().map(|k| k.len()).sum();
+        format!(
+            "{}#{}#{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}",
+            app.name,
+            app.kernels.len(),
+            code,
+            cfg.gpu,
+            cfg.epoch,
+            cfg.group,
+            cfg.states,
+            cfg.power,
+            cfg.policy,
+            cfg.max_epochs,
+            cfg.power_cap,
+        )
+    }
+
+    /// Returns the cached baseline for `(app, cfg)`, simulating it on the
+    /// first request.
+    ///
+    /// Concurrent misses on the *same* key may each simulate (the first
+    /// finisher's result is kept; the simulator is deterministic, so all
+    /// copies are identical) — [`BaselineCache::baselines`] avoids this by
+    /// parallelizing over distinct apps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.policy` is not [`PolicyKind::Static`]: only static
+    /// runs are objective-independent, which the key relies on.
+    pub fn get_or_run(&self, app: &App, cfg: &RunConfig) -> RunResult {
+        assert!(
+            matches!(cfg.policy, PolicyKind::Static(_)),
+            "baseline cache only holds static-policy runs"
+        );
+        let key = Self::key(app, cfg);
+        if let Some(hit) = self.inner.lock().expect("cache lock").get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = run(app, cfg);
+        self.inner.lock().expect("cache lock").entry(key).or_insert_with(|| result.clone());
+        result
+    }
+
+    /// Static baselines at `static_mhz` for every app under `base`'s
+    /// platform, as grid cells (cache-served where possible, simulated in
+    /// parallel otherwise).
+    pub fn baselines(
+        &self,
+        apps: &[App],
+        base: &RunConfig,
+        static_mhz: u32,
+        threads: usize,
+    ) -> Vec<SuiteCell> {
+        let cfg = RunConfig { policy: PolicyKind::Static(static_mhz), ..base.clone() };
+        parallel_map(apps, threads, |app| {
+            let result = self.get_or_run(app, &cfg);
+            SuiteCell { app: app.name.clone(), policy: result.policy.clone(), result }
+        })
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (actual simulator runs) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct baselines held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide baseline cache shared by every figure entry point.
+pub fn global_baseline_cache() -> &'static BaselineCache {
+    static CACHE: OnceLock<BaselineCache> = OnceLock::new();
+    CACHE.get_or_init(BaselineCache::new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,15 +192,19 @@ mod tests {
     use pcstall::estimators::CuEstimator;
     use workloads::{by_name, Scale};
 
+    fn tiny_base(max_epochs: usize) -> RunConfig {
+        let mut base = RunConfig::paper(PolicyKind::Static(1700));
+        base.gpu = GpuConfig::tiny();
+        base.max_epochs = max_epochs;
+        base
+    }
+
     #[test]
     fn grid_preserves_order_and_runs_all_cells() {
         let apps =
             vec![by_name("comd", Scale::Quick).unwrap(), by_name("dgemm", Scale::Quick).unwrap()];
-        let policies =
-            vec![PolicyKind::Static(1700), PolicyKind::Reactive(CuEstimator::Stall)];
-        let mut base = RunConfig::paper(PolicyKind::Static(1700));
-        base.gpu = GpuConfig::tiny();
-        base.max_epochs = 10;
+        let policies = vec![PolicyKind::Static(1700), PolicyKind::Reactive(CuEstimator::Stall)];
+        let base = tiny_base(10);
         let grid = run_grid(&apps, &policies, &base, 4);
         assert_eq!(grid.len(), 4);
         assert_eq!(grid[0].app, "comd");
@@ -102,11 +220,60 @@ mod tests {
     fn parallel_equals_serial() {
         let apps = vec![by_name("comd", Scale::Quick).unwrap()];
         let policies = vec![PolicyKind::Reactive(CuEstimator::Crisp)];
-        let mut base = RunConfig::paper(PolicyKind::Static(1700));
-        base.gpu = GpuConfig::tiny();
-        base.max_epochs = 8;
+        let base = tiny_base(8);
         let a = run_grid(&apps, &policies, &base, 1);
         let b = run_grid(&apps, &policies, &base, 4);
         assert_eq!(a, b, "simulation must be deterministic across thread counts");
+    }
+
+    #[test]
+    fn grid_is_bit_identical_across_thread_counts() {
+        let apps = vec![
+            by_name("comd", Scale::Quick).unwrap(),
+            by_name("dgemm", Scale::Quick).unwrap(),
+            by_name("xsbench", Scale::Quick).unwrap(),
+        ];
+        let policies = vec![
+            PolicyKind::Static(1700),
+            PolicyKind::Oracle,
+            PolicyKind::Reactive(CuEstimator::Stall),
+        ];
+        let base = tiny_base(6);
+        let one = run_grid(&apps, &policies, &base, 1);
+        let eight = run_grid(&apps, &policies, &base, 8);
+        assert_eq!(one, eight, "grid results must not depend on worker count");
+    }
+
+    #[test]
+    fn baseline_cache_runs_each_key_once() {
+        let apps =
+            vec![by_name("comd", Scale::Quick).unwrap(), by_name("hacc", Scale::Quick).unwrap()];
+        let base = tiny_base(6);
+        let cache = BaselineCache::new();
+        let first = cache.baselines(&apps, &base, 1700, 2);
+        // A second figure over the same apps — and one with a different
+        // objective — must be served entirely from cache.
+        let mut other_objective = base.clone();
+        other_objective.objective = dvfs::objective::Objective::MinEdp;
+        let second = cache.baselines(&apps, &base, 1700, 2);
+        let third = cache.baselines(&apps, &other_objective, 1700, 2);
+        assert_eq!(first, second);
+        assert_eq!(first, third);
+        assert_eq!(cache.misses(), apps.len(), "each (app, cfg) simulated exactly once");
+        assert_eq!(cache.hits(), 2 * apps.len());
+        assert_eq!(cache.len(), apps.len());
+        // A different static frequency is a different baseline.
+        let _ = cache.baselines(&apps, &base, 2200, 2);
+        assert_eq!(cache.misses(), 2 * apps.len());
+    }
+
+    #[test]
+    fn cached_baseline_matches_direct_run() {
+        let app = by_name("comd", Scale::Quick).unwrap();
+        let base = tiny_base(6);
+        let cache = BaselineCache::new();
+        let cached = cache.baselines(std::slice::from_ref(&app), &base, 1700, 1);
+        let direct = run(&app, &base);
+        assert_eq!(cached[0].result, direct);
     }
 }

@@ -59,10 +59,12 @@ fn phase_kernel(
 pub fn comd(scale: Scale) -> App {
     let mut b = KernelBuilder::new("comd_force", scale.workgroups(432), 4, 0xC0_4D);
     let neigh = b.pattern(AddressPattern::Random { base: 0x1000_0000, region: 8 * MB });
-    let pos = b.pattern(AddressPattern::Strided { base: 0x2000_0000, stride: 192, region: 16 * MB });
-    let force = b.pattern(AddressPattern::Strided { base: 0x3000_0000, stride: 64, region: 16 * MB });
+    let pos =
+        b.pattern(AddressPattern::Strided { base: 0x2000_0000, stride: 192, region: 16 * MB });
+    let force =
+        b.pattern(AddressPattern::Strided { base: 0x3000_0000, stride: 64, region: 16 * MB });
     b.begin_loop(scale.trips(54), 2); // atoms per wavefront
-    // Gather phase (~multi-epoch, memory-bound): walk the neighbor list.
+                                      // Gather phase (~multi-epoch, memory-bound): walk the neighbor list.
     b.begin_loop(6, 0);
     b.load(neigh);
     b.load(pos);
@@ -85,7 +87,7 @@ pub fn comd(scale: Scale) -> App {
 /// than L2; persistently memory-bandwidth-bound (paper Fig. 16 keeps it at
 /// low frequencies).
 pub fn hpgmg(scale: Scale) -> App {
-    let mut b = KernelBuilder::new("hpgmg_smooth", scale.workgroups(432), 4, 0x46_16);
+    let mut b = KernelBuilder::new("hpgmg_smooth", scale.workgroups(432), 4, 0x4616);
     let grid = b.pattern(AddressPattern::Stream { base: 0x4000_0000, region: 256 * MB });
     let out = b.pattern(AddressPattern::Stream { base: 0x6000_0000, region: 256 * MB });
     b.begin_loop(scale.trips(360), 0); // grid points
@@ -118,11 +120,7 @@ pub fn lulesh(scale: Scale) -> App {
                 &format!("lulesh_k{i:02}"),
                 scale.workgroups(32),
                 0x10_1E_50 + i,
-                AddressPattern::Strided {
-                    base: 0x8000_0000 + i * 0x400_0000,
-                    stride: 128,
-                    region,
-                },
+                AddressPattern::Strided { base: 0x8000_0000 + i * 0x400_0000, stride: 128, region },
                 scale.trips(180),
                 n_loads,
                 n_valu,
@@ -223,7 +221,14 @@ pub fn hacc(scale: Scale) -> App {
     // Three time steps of (force, update); 2 unique kernels.
     app(
         "hacc",
-        vec![force(0xAC_01), update(0xAC_02), force(0xAC_01), update(0xAC_02), force(0xAC_01), update(0xAC_02)],
+        vec![
+            force(0xAC_01),
+            update(0xAC_02),
+            force(0xAC_01),
+            update(0xAC_02),
+            force(0xAC_01),
+            update(0xAC_02),
+        ],
     )
 }
 
@@ -232,7 +237,7 @@ pub fn hacc(scale: Scale) -> App {
 /// irregular loads. The paper's example of maximal *inter-wavefront*
 /// variation (Fig. 11a).
 pub fn quicks(scale: Scale) -> App {
-    let mut b = KernelBuilder::new("quicks_history", scale.workgroups(432), 4, 0x9C_5);
+    let mut b = KernelBuilder::new("quicks_history", scale.workgroups(432), 4, 0x9C5);
     let xs = b.pattern(AddressPattern::Random { base: 0x4_0000_0000, region: 96 * MB });
     let tally = b.pattern(AddressPattern::Random { base: 0x4_8000_0000, region: 16 * MB });
     b.begin_loop(scale.trips(72), 16); // particle histories: hugely divergent
@@ -271,7 +276,13 @@ pub fn pennant(scale: Scale) -> App {
     };
     app(
         "pennant",
-        vec![mk(0, 3, 20, 64, false), mk(1, 1, 44, 8, false), mk(2, 4, 12, 96, true), mk(3, 2, 32, 24, false), mk(4, 3, 16, 64, true)],
+        vec![
+            mk(0, 3, 20, 64, false),
+            mk(1, 1, 44, 8, false),
+            mk(2, 4, 12, 96, true),
+            mk(3, 2, 32, 24, false),
+            mk(4, 3, 16, 64, true),
+        ],
     )
 }
 
@@ -279,9 +290,10 @@ pub fn pennant(scale: Scale) -> App {
 /// (barrier-stepped) wavefront sweeps with balanced compute.
 pub fn snapc(scale: Scale) -> App {
     let mut b = KernelBuilder::new("snapc_sweep", scale.workgroups(432), 4, 0x5A_9C);
-    let flux = b.pattern(AddressPattern::Strided { base: 0x6_0000_0000, stride: 128, region: 64 * MB });
+    let flux =
+        b.pattern(AddressPattern::Strided { base: 0x6_0000_0000, stride: 128, region: 64 * MB });
     b.begin_loop(scale.trips(60), 0); // sweep planes (no jitter: barriers inside)
-    // Upwind gather segment.
+                                      // Upwind gather segment.
     b.begin_loop(4, 0);
     b.load(flux);
     b.load(flux);
@@ -290,7 +302,7 @@ pub fn snapc(scale: Scale) -> App {
     b.end_loop();
     b.wait_all_loads();
     b.barrier(); // plane synchronization
-    // Angular compute segment.
+                 // Angular compute segment.
     b.begin_loop(3, 0);
     b.valu(2, 28);
     b.end_loop();
@@ -314,9 +326,10 @@ pub fn dgemm(scale: Scale) -> App {
     // The B panel is broadcast across wavefronts (LDS staging in a real
     // kernel): shared lines hit L2/L1 after first touch.
     let b_mat = b.pattern(AddressPattern::Shared { base: 0x7_4000_0000, region: 2 * MB });
-    let c_out = b.pattern(AddressPattern::Strided { base: 0x7_8000_0000, stride: 64, region: 32 * MB });
+    let c_out =
+        b.pattern(AddressPattern::Strided { base: 0x7_8000_0000, stride: 64, region: 32 * MB });
     b.begin_loop(scale.trips(42), 0); // K-tiles
-    // Stage phase: fetch the tile operands and synchronize.
+                                      // Stage phase: fetch the tile operands and synchronize.
     b.begin_loop(3, 0);
     b.load(b_mat);
     b.load(a_tile);
@@ -405,7 +418,8 @@ pub fn fwd_bn(scale: Scale) -> App {
 /// on a single mid frequency during steady state.
 pub fn bwd_pool(scale: Scale) -> App {
     let mut b = KernelBuilder::new("bwdpool", scale.workgroups(432), 4, 0xB9_01);
-    let win = b.pattern(AddressPattern::Strided { base: 0xA_0000_0000, stride: 128, region: 64 * MB });
+    let win =
+        b.pattern(AddressPattern::Strided { base: 0xA_0000_0000, stride: 128, region: 64 * MB });
     b.begin_loop(scale.trips(330), 0);
     b.load(win);
     b.load(win);
@@ -516,10 +530,7 @@ mod tests {
     fn dgemm_more_sensitive_than_hpgmg() {
         let rd = sensitivity_ratio(dgemm(Scale::Quick));
         let rh = sensitivity_ratio(hpgmg(Scale::Quick));
-        assert!(
-            rd > rh,
-            "compute-bound dgemm ({rd}) must out-scale bandwidth-bound hpgmg ({rh})"
-        );
+        assert!(rd > rh, "compute-bound dgemm ({rd}) must out-scale bandwidth-bound hpgmg ({rh})");
     }
 
     #[test]
@@ -550,8 +561,7 @@ mod tests {
         let stats = gpu.run_epoch(Femtos::from_micros(2));
         // Committed counts across wavefront slots of one CU should spread.
         let wf = &stats.cus[0].wf;
-        let counts: Vec<u32> =
-            wf.iter().filter(|w| w.present).map(|w| w.committed).collect();
+        let counts: Vec<u32> = wf.iter().filter(|w| w.present).map(|w| w.committed).collect();
         let max = *counts.iter().max().unwrap_or(&0);
         let min = *counts.iter().min().unwrap_or(&0);
         assert!(max > 0, "no work in epoch");

@@ -47,5 +47,8 @@ fn main() {
     }
     println!("{}", bar_chart(&rows, 40));
 
-    println!("\n(legend: each cell is one 1 us epoch; ramp {} = low..high)", sparkline(&[0.0, 0.33, 0.66, 1.0]));
+    println!(
+        "\n(legend: each cell is one 1 us epoch; ramp {} = low..high)",
+        sparkline(&[0.0, 0.33, 0.66, 1.0])
+    );
 }

@@ -1,12 +1,20 @@
 //! Quickstart: run one workload under PCSTALL fine-grain DVFS and compare
 //! it against the static 1.7 GHz baseline.
 //!
+//! The PCSTALL leg drives the layered engine explicitly — a [`Session`]
+//! stepped one epoch at a time with the standard observers attached — to
+//! show how custom harnesses compose their own measurement stacks; the
+//! baseline uses the one-call [`run_static_baseline`] wrapper built on the
+//! same engine.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use harness::runner::{run, run_static_baseline, RunConfig};
+use harness::runner::{run_static_baseline, RunConfig};
+use harness::session::{AccuracyObserver, EnergyObserver, ResidencyObserver, Session};
 use pcstall::policy::{PcStallConfig, PolicyKind};
+use power::model::PowerModel;
 use workloads::{by_name, Scale};
 
 fn main() {
@@ -16,7 +24,25 @@ fn main() {
     let app = by_name("comd", Scale::Quick).expect("comd is a registered Table II workload");
     println!("running `{}` under PCSTALL (1 µs epochs, per-CU V/f domains)...", app.name);
 
-    let pcstall = run(&app, &cfg);
+    // Explicit composition: the session owns the GPU and the policy; each
+    // cross-cutting measurement is an independent observer.
+    let mut session = Session::new(&app, &cfg);
+    let mut energy = EnergyObserver::new(PowerModel::new(cfg.power));
+    let mut accuracy = AccuracyObserver::new();
+    let mut residency = ResidencyObserver::new(cfg.states.clone());
+    while session.step(&mut [&mut energy, &mut accuracy, &mut residency]) {
+        // Step-granular control: a live energy readout every 16 epochs.
+        if session.epochs().is_multiple_of(16) {
+            println!("  epoch {:>4}: {:.4} J so far", session.epochs(), energy.energy_j());
+        }
+    }
+    let mut pcstall = session.finalize();
+    for obs in
+        [&mut energy as &mut dyn harness::session::RunObserver, &mut accuracy, &mut residency]
+    {
+        obs.finish(&mut pcstall);
+    }
+
     let baseline = run_static_baseline(&app, &cfg);
 
     println!();

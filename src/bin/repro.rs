@@ -78,6 +78,14 @@ fn main() -> ExitCode {
                 eprintln!("== {id} ==");
                 println!("{}", f(&p).render());
             }
+            let cache = harness::sweeps::global_baseline_cache();
+            eprintln!(
+                "simulator runs: {} total; baseline cache: {} distinct, {} hits, {} misses",
+                harness::session::sim_runs(),
+                cache.len(),
+                cache.hits(),
+                cache.misses()
+            );
             ExitCode::SUCCESS
         }
         _ => {

@@ -84,7 +84,7 @@ fn memory_bound_app_prefers_low_frequencies_under_pcstall() {
 #[test]
 fn compute_bound_app_clocks_higher_than_memory_bound() {
     let states = FreqStates::paper();
-    let mut run_one = |name: &str| {
+    let run_one = |name: &str| {
         let app = by_name(name, Scale::Quick).unwrap();
         let mut cfg = tiny_cfg(PolicyKind::PcStall(PcStallConfig::default()));
         cfg.max_epochs = 120;

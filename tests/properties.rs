@@ -18,13 +18,13 @@ use proptest::prelude::*;
 /// A small random-but-valid kernel: loops of VALU/load/store/waitcnt ops.
 fn arb_app() -> impl Strategy<Value = App> {
     (
-        2u16..12,                       // outer trips
-        0u16..4,                        // jitter
-        1usize..8,                      // valu burst
-        0usize..3,                      // loads per iteration
-        proptest::bool::ANY,            // store?
-        0u64..u64::MAX,                 // seed
-        1u32..4,                        // workgroup wavefronts
+        2u16..12,            // outer trips
+        0u16..4,             // jitter
+        1usize..8,           // valu burst
+        0usize..3,           // loads per iteration
+        proptest::bool::ANY, // store?
+        0u64..u64::MAX,      // seed
+        1u32..4,             // workgroup wavefronts
     )
         .prop_map(|(trips, jitter, valu, loads, store, seed, wg_wf)| {
             let mut b = KernelBuilder::new("prop", 16, wg_wf as u8, seed);

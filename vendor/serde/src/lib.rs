@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io. The workspace derives
+//! `Serialize`/`Deserialize` widely for forward compatibility but never
+//! actually serializes (there is no `serde_json` or similar consumer), so
+//! marker traits with blanket impls plus parse-only derives are a faithful
+//! substitute: every `#[derive(Serialize, Deserialize)]` and every
+//! `T: Serialize` bound compiles exactly as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real derive
+//! macros cannot be compiled. Nothing in this workspace actually
+//! serializes anything (no `serde_json`/`bincode` consumer exists); the
+//! derives only need to *parse*. These no-op macros accept the same
+//! syntax — including `#[serde(...)]` helper attributes — and emit no
+//! code; the blanket impls in the sibling `serde` stub satisfy any
+//! `Serialize`/`Deserialize` bound.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

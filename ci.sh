@@ -16,4 +16,16 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Oracle determinism at the thread-count extremes: the parallel oracle must
+# be bit-for-bit identical whether the global pool is a single inline lane
+# or 8 workers.
+echo "==> oracle determinism @ PCSTALL_THREADS=1"
+PCSTALL_THREADS=1 cargo test -q -p pcstall --test oracle_determinism
+
+echo "==> oracle determinism @ PCSTALL_THREADS=8"
+PCSTALL_THREADS=8 cargo test -q -p pcstall --test oracle_determinism
+
+echo "==> oracle scaling bench (smoke: one iteration per pool size)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench oracle_scaling
+
 echo "CI OK"

@@ -1,0 +1,93 @@
+//! Thread-scaling benchmark for fork–pre-execute oracle sampling.
+//!
+//! Times `oracle::sample_with` (the crit_micro oracle workload: comd at
+//! Quick scale on the tiny platform, 10 paper states, per-CU domains,
+//! 1 µs epochs) on persistent worker pools of 1, 2, 4 and 8 threads and
+//! reports samples/sec per pool size plus the speedup over the 1-thread
+//! pool. Results go to `results/BENCH_oracle.json`.
+//!
+//! Honest numbers only: speedup is *reported*, not asserted — a 1-core
+//! container legitimately measures ~1× at every pool size. Set
+//! `PCSTALL_BENCH_SMOKE=1` to run a single iteration per pool size (the
+//! CI smoke path).
+
+use dvfs::domain::DomainMap;
+use dvfs::states::FreqStates;
+use exec::WorkerPool;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::time::Femtos;
+use pcstall::oracle;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 5;
+
+fn warmed_gpu() -> Gpu {
+    let app = workloads::by_name("comd", workloads::Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+    gpu.run_epoch(Femtos::from_micros(2));
+    gpu
+}
+
+/// Median time per `sample_with` call on `pool`, in seconds.
+fn time_sample(pool: &WorkerPool, gpu: &Gpu, iters: u32) -> f64 {
+    let states = FreqStates::paper();
+    let domains = DomainMap::per_cu(gpu.n_cus());
+    let duration = Femtos::from_micros(1);
+    // Warm-up populates each lane's fork arena, so the timed region
+    // measures steady-state (allocation-free) sampling.
+    black_box(oracle::sample_with(pool, gpu, duration, &states, &domains));
+    let mut per_call: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(oracle::sample_with(pool, gpu, duration, &states, &domains));
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    per_call[per_call.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("PCSTALL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let iters: u32 = if smoke { 1 } else { 10 };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let gpu = warmed_gpu();
+
+    let mut rows = Vec::new();
+    let mut base_rate = 0.0;
+    for threads in THREAD_COUNTS {
+        let pool = WorkerPool::new(threads);
+        let secs = time_sample(&pool, &gpu, iters);
+        let rate = 1.0 / secs;
+        if threads == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate;
+        println!(
+            "oracle_sample[{threads} thread{}]: {rate:.1} samples/sec ({speedup:.2}x vs 1 thread)",
+            if threads == 1 { "" } else { "s" }
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"samples_per_sec\": {rate:.3}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    println!(
+        "(machine has {cores} core{}; speedup beyond min(threads, cores) is not expected)",
+        if cores == 1 { "" } else { "s" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"oracle_sample_scaling\",\n  \"workload\": \
+         \"comd-quick/tiny/10-states/per-cu-domains/1us\",\n  \"cores\": {cores},\n  \
+         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = bench::results_dir().join("BENCH_oracle.json");
+    std::fs::write(&path, json).expect("write BENCH_oracle.json");
+    println!("wrote {}", path.display());
+}

@@ -11,13 +11,33 @@
 //! Because `gpu_sim::gpu::Gpu` is deterministic and `Clone`, re-running the
 //! original afterwards with chosen frequencies is exact rollback
 //! re-execution.
+//!
+//! # Parallelism and the fork arena
+//!
+//! Sampling is the hot loop of every oracle-backed run: `states.len()`
+//! full simulator epochs per control epoch. The per-state forks are
+//! mutually independent, so [`sample_with`] maps them over a persistent
+//! [`exec::WorkerPool`]; each lane keeps one forked [`Gpu`] (plus a
+//! telemetry buffer) alive in a thread-local [`exec::with_arena`] slot and
+//! refreshes it with `Gpu::clone_from`, so steady-state sampling performs
+//! no fork allocation at all.
+//!
+//! Parallel sampling is **bit-for-bit identical** to serial sampling at
+//! any thread count: every per-state job reads only the shared pre-fork
+//! `Gpu` and writes only its own pre-indexed result slot, and the stitch
+//! into [`OracleSamples`] runs serially in state order on the caller. No
+//! cross-state arithmetic exists that could reassociate floating-point
+//! operations. The determinism tests in `tests/oracle_determinism.rs`
+//! assert exact `OracleSamples` equality across thread counts.
 
 use dvfs::domain::DomainMap;
 use dvfs::states::FreqStates;
+use exec::{global_pool, with_arena, WorkerPool};
 use gpu_sim::gpu::Gpu;
 use gpu_sim::isa::Pc;
 use gpu_sim::stats::EpochStats;
-use gpu_sim::time::Femtos;
+use gpu_sim::time::{Femtos, Frequency};
+use std::fmt;
 
 /// The oracle's measurements for one upcoming epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,27 +60,127 @@ pub struct OracleSamples {
     pub wf_present: Vec<Vec<bool>>,
 }
 
+/// A curve was queried at a frequency outside the sampled state set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffGridFrequency {
+    /// The domain whose curve was queried.
+    pub domain: usize,
+    /// The off-grid frequency.
+    pub freq: Frequency,
+    /// The states the oracle actually sampled.
+    pub states: Vec<Frequency>,
+}
+
+impl fmt::Display for OffGridFrequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let grid: Vec<String> = self.states.iter().map(|s| s.mhz().to_string()).collect();
+        write!(
+            f,
+            "oracle curve for domain {} queried at {} MHz, which is not in the sampled \
+             state set [{} MHz]",
+            self.domain,
+            self.freq.mhz(),
+            grid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for OffGridFrequency {}
+
 impl OracleSamples {
+    /// The measured instruction count of `domain` at `freq`, or a
+    /// descriptive [`OffGridFrequency`] error if `freq` is not one of the
+    /// sampled `states`.
+    pub fn value_at(
+        &self,
+        domain: usize,
+        states: &FreqStates,
+        freq: Frequency,
+    ) -> Result<f64, OffGridFrequency> {
+        match states.index_of(freq) {
+            Some(idx) => Ok(self.domain_curves[domain][idx]),
+            None => Err(OffGridFrequency { domain, freq, states: states.as_slice().to_vec() }),
+        }
+    }
+
     /// The measured instruction curve of `domain` as a closure over
     /// frequency, suitable for [`dvfs::objective::Objective::choose`].
+    ///
+    /// # Panics
+    ///
+    /// The returned closure panics (with the offending frequency and the
+    /// sampled state set spelled out) when queried off-grid; use
+    /// [`OracleSamples::value_at`] for a recoverable variant.
     pub fn curve<'a>(
         &'a self,
         domain: usize,
         states: &'a FreqStates,
-    ) -> impl Fn(gpu_sim::time::Frequency) -> f64 + 'a {
-        move |f| {
-            let idx = states.index_of(f).expect("frequency not in state set");
-            self.domain_curves[domain][idx]
-        }
+    ) -> impl Fn(Frequency) -> f64 + 'a {
+        move |f| self.value_at(domain, states, f).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-/// Fork–pre-execute sampling of the next epoch of `gpu`.
-///
-/// Spawns `states.len()` sampling clones with shuffled per-domain
-/// frequencies (no transition stall — the pre-execution measures steady
-/// behavior at each state) and runs each for `duration`.
+/// Per-lane reusable fork state: one GPU clone and one telemetry buffer,
+/// kept alive in a thread-local [`exec::with_arena`] slot so consecutive
+/// sampling jobs on the same pool worker reuse all fork allocations.
+struct ForkArena {
+    gpu: Option<Gpu>,
+    stats: EpochStats,
+}
+
+impl ForkArena {
+    fn new() -> Self {
+        ForkArena { gpu: None, stats: EpochStats::empty() }
+    }
+
+    /// Refreshes (or first-populates) the arena's fork from `src` and
+    /// returns it alongside the telemetry buffer.
+    fn fork_from(&mut self, src: &Gpu) -> (&mut Gpu, &mut EpochStats) {
+        match &mut self.gpu {
+            Some(fork) => fork.clone_from(src),
+            slot @ None => *slot = Some(src.clone()),
+        }
+        (self.gpu.as_mut().expect("fork populated above"), &mut self.stats)
+    }
+}
+
+/// Everything one shuffled sampling state contributes to the stitched
+/// result, extracted inside the per-state job so the raw `EpochStats`
+/// never leaves the lane's arena.
+struct StatePart {
+    /// Committed instructions per domain (at that domain's shuffled state).
+    domain_committed: Vec<f64>,
+    /// Flattened `[cu * wf_slots + slot]` per-wavefront measurements.
+    wf: Vec<WfPart>,
+}
+
+#[derive(Clone, Copy)]
+struct WfPart {
+    committed: u32,
+    intrinsic: f32,
+    denial: f32,
+}
+
+/// Fork–pre-execute sampling of the next epoch of `gpu`, on the process
+/// global [`exec::WorkerPool`]. See [`sample_with`].
 pub fn sample(
+    gpu: &Gpu,
+    duration: Femtos,
+    states: &FreqStates,
+    domains: &DomainMap,
+) -> OracleSamples {
+    sample_with(&global_pool(), gpu, duration, states, domains)
+}
+
+/// Fork–pre-execute sampling of the next epoch of `gpu` over `pool`.
+///
+/// Forks `states.len()` sampling clones with shuffled per-domain
+/// frequencies (no transition stall — the pre-execution measures steady
+/// behavior at each state), runs each for `duration` (one pool job per
+/// state), and stitches the per-domain curves serially in state order.
+/// The result is bit-identical at every pool size.
+pub fn sample_with(
+    pool: &WorkerPool,
     gpu: &Gpu,
     duration: Femtos,
     states: &FreqStates,
@@ -88,26 +208,53 @@ pub fn sample(
         }
     }
 
-    for s in 0..n_states {
-        let mut fork = gpu.clone();
-        for (d, cus) in domains.iter() {
-            let state_idx = (s + d) % n_states;
-            let f = states.as_slice()[state_idx];
-            fork.set_frequency_of(cus, f, Femtos::ZERO);
+    // One job per sampling state. Each lane refreshes its persistent fork
+    // from the shared pre-epoch GPU, simulates one epoch, and reduces the
+    // telemetry to this state's contribution — all writes go to the job's
+    // own result slot, so scheduling order cannot affect the output.
+    let state_ids: Vec<usize> = (0..n_states).collect();
+    let parts: Vec<StatePart> = pool.map(&state_ids, |&s| {
+        with_arena(ForkArena::new, |arena| {
+            let (fork, stats) = arena.fork_from(gpu);
+            for (d, cus) in domains.iter() {
+                let state_idx = (s + d) % n_states;
+                fork.set_frequency_of(cus, states.as_slice()[state_idx], Femtos::ZERO);
+            }
+            fork.run_epoch_into(duration, stats);
+            let domain_committed =
+                (0..n_domains).map(|d| stats.committed_in(domains.cus(d)) as f64).collect();
+            let mut wf = Vec::with_capacity(n_cus * wf_slots);
+            for cu in 0..n_cus {
+                for w in stats.cus[cu].wf.iter() {
+                    let denial =
+                        (w.sched_wait.as_fs() as f64 / duration.as_fs() as f64).clamp(0.0, 0.95);
+                    wf.push(WfPart {
+                        committed: w.committed,
+                        intrinsic: (w.committed as f64 / (1.0 - denial)) as f32,
+                        denial: denial as f32,
+                    });
+                }
+            }
+            StatePart { domain_committed, wf }
+        })
+    });
+
+    // Deterministic stitch, serial and in state order: sample `s` measured
+    // domain `d` at state `(s + d) mod n`.
+    for (s, part) in parts.iter().enumerate() {
+        for d in 0..n_domains {
+            domain_curves[d][(s + d) % n_states] = part.domain_committed[d];
         }
-        let stats = fork.run_epoch(duration);
-        for (d, _) in domains.iter() {
-            let state_idx = (s + d) % n_states;
-            domain_curves[d][state_idx] = stats.committed_in(domains.cus(d)) as f64;
-        }
+        debug_assert_eq!(part.wf.len(), n_cus * wf_slots);
+        let mut k = 0;
         for cu in 0..n_cus {
             let state_idx = (s + domains.domain_of(cu)) % n_states;
-            for (slot, wf) in stats.cus[cu].wf.iter().enumerate() {
-                wf_committed[cu][slot][state_idx] = wf.committed;
-                let denial =
-                    (wf.sched_wait.as_fs() as f64 / duration.as_fs() as f64).clamp(0.0, 0.95);
-                wf_intrinsic[cu][slot][state_idx] = (wf.committed as f64 / (1.0 - denial)) as f32;
-                wf_denial[cu][slot][state_idx] = denial as f32;
+            for slot in 0..wf_slots {
+                let w = part.wf[k];
+                k += 1;
+                wf_committed[cu][slot][state_idx] = w.committed;
+                wf_intrinsic[cu][slot][state_idx] = w.intrinsic;
+                wf_denial[cu][slot][state_idx] = w.denial;
             }
         }
     }
@@ -123,37 +270,69 @@ pub fn sample(
     }
 }
 
+/// Uniform (non-shuffled) sampling on the process-global pool. See
+/// [`sample_uniform_with`].
+pub fn sample_uniform(gpu: &Gpu, duration: Femtos, states: &FreqStates) -> Vec<EpochStats> {
+    sample_uniform_with(&global_pool(), gpu, duration, states)
+}
+
 /// Uniform (non-shuffled) sampling: every CU runs at the same state in each
 /// sampling copy. Returns the full epoch telemetry per state — this is the
 /// exhaustive measurement behind the paper's Figure 5 linearity study and
-/// the sensitivity-profiling figures.
-pub fn sample_uniform(gpu: &Gpu, duration: Femtos, states: &FreqStates) -> Vec<EpochStats> {
+/// the sensitivity-profiling figures. One pool job per state; results are
+/// in state order and bit-identical at every pool size.
+pub fn sample_uniform_with(
+    pool: &WorkerPool,
+    gpu: &Gpu,
+    duration: Femtos,
+    states: &FreqStates,
+) -> Vec<EpochStats> {
     let all: Vec<usize> = (0..gpu.n_cus()).collect();
-    states
-        .iter()
-        .map(|f| {
-            let mut fork = gpu.clone();
+    let freqs: Vec<Frequency> = states.as_slice().to_vec();
+    pool.map(&freqs, |&f| {
+        with_arena(ForkArena::new, |arena| {
+            let (fork, stats) = arena.fork_from(gpu);
             fork.set_frequency_of(&all, f, Femtos::ZERO);
-            fork.run_epoch(duration)
+            fork.run_epoch_into(duration, stats);
+            stats.clone()
         })
-        .collect()
+    })
 }
 
-/// Two-point sensitivity probe: measures each CU's (and wavefront's)
-/// committed instructions at the lowest and highest states, from identical
-/// starting conditions. Returns `(low, high)` epoch telemetry. This is the
-/// cheap probe the measurement studies (Figures 6–11) are built on.
+/// Two-point sensitivity probe on the process-global pool. See
+/// [`probe_two_point_with`].
 pub fn probe_two_point(
     gpu: &Gpu,
     duration: Femtos,
     states: &FreqStates,
 ) -> (EpochStats, EpochStats) {
+    probe_two_point_with(&global_pool(), gpu, duration, states)
+}
+
+/// Two-point sensitivity probe: measures each CU's (and wavefront's)
+/// committed instructions at the lowest and highest states, from identical
+/// starting conditions. Returns `(low, high)` epoch telemetry. This is the
+/// cheap probe the measurement studies (Figures 6–11) are built on; the
+/// two forks run as two pool jobs.
+pub fn probe_two_point_with(
+    pool: &WorkerPool,
+    gpu: &Gpu,
+    duration: Femtos,
+    states: &FreqStates,
+) -> (EpochStats, EpochStats) {
     let all: Vec<usize> = (0..gpu.n_cus()).collect();
-    let mut lo = gpu.clone();
-    lo.set_frequency_of(&all, states.min(), Femtos::ZERO);
-    let mut hi = gpu.clone();
-    hi.set_frequency_of(&all, states.max(), Femtos::ZERO);
-    (lo.run_epoch(duration), hi.run_epoch(duration))
+    let ends = [states.min(), states.max()];
+    let mut out = pool.map(&ends, |&f| {
+        with_arena(ForkArena::new, |arena| {
+            let (fork, stats) = arena.fork_from(gpu);
+            fork.set_frequency_of(&all, f, Femtos::ZERO);
+            fork.run_epoch_into(duration, stats);
+            stats.clone()
+        })
+    });
+    let hi = out.pop().expect("two probe results");
+    let lo = out.pop().expect("two probe results");
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -249,5 +428,34 @@ mod tests {
         let states = FreqStates::paper();
         let (lo, hi) = probe_two_point(&gpu, Femtos::from_micros(1), &states);
         assert!(hi.committed_total() >= lo.committed_total());
+    }
+
+    #[test]
+    fn curve_reads_on_grid_and_reports_off_grid() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(1));
+        let states = FreqStates::paper();
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        let s = sample(&gpu, Femtos::from_micros(1), &states, &domains);
+        let f0 = states.as_slice()[0];
+        assert_eq!(s.curve(0, &states)(f0), s.domain_curves[0][0]);
+        let err = s.value_at(3, &states, Frequency::from_mhz(1234)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("domain 3"), "missing domain: {msg}");
+        assert!(msg.contains("1234 MHz"), "missing offending frequency: {msg}");
+        assert!(msg.contains("1300"), "missing state set: {msg}");
+    }
+
+    #[test]
+    fn curve_panic_message_names_the_frequency() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(1));
+        let states = FreqStates::paper();
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        let s = sample(&gpu, Femtos::from_micros(1), &states, &domains);
+        let caught = std::panic::catch_unwind(|| s.curve(0, &states)(Frequency::from_mhz(999)));
+        let payload = caught.expect_err("off-grid query must panic");
+        let msg = payload.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("999 MHz"), "panic must name the frequency: {msg}");
     }
 }

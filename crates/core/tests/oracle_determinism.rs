@@ -1,0 +1,113 @@
+//! Parallel oracle sampling must be bit-for-bit identical to serial
+//! sampling: every per-state fork is independent and results are stitched
+//! serially in state order, so the pool size can never leak into the
+//! output. These tests pin that guarantee across applications, state
+//! grids and thread counts (1, 2 and 8), including repeated sampling on
+//! the same pool so reused fork arenas are exercised.
+
+use dvfs::domain::DomainMap;
+use dvfs::states::FreqStates;
+use exec::WorkerPool;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::time::{Femtos, Frequency};
+use pcstall::oracle;
+use workloads::{by_name, Scale};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn apps() -> Vec<&'static str> {
+    vec!["comd", "dgemm"]
+}
+
+fn grids() -> Vec<(&'static str, FreqStates)> {
+    vec![
+        ("paper", FreqStates::paper()),
+        (
+            "nonuniform",
+            FreqStates::from_states(vec![
+                Frequency::from_mhz(1000),
+                Frequency::from_mhz(1150),
+                Frequency::from_mhz(1333),
+                Frequency::from_mhz(1633),
+                Frequency::from_mhz(2200),
+            ]),
+        ),
+    ]
+}
+
+/// A warmed-up GPU mid-run, so sampling sees live wavefronts.
+fn warmed(app: &str) -> Gpu {
+    let app = by_name(app, Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::tiny(), app);
+    gpu.run_epoch(Femtos::from_micros(2));
+    gpu
+}
+
+#[test]
+fn sample_is_bit_identical_across_thread_counts() {
+    let duration = Femtos::from_micros(1);
+    for app in apps() {
+        let gpu = warmed(app);
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        for (grid_name, states) in grids() {
+            let serial =
+                oracle::sample_with(&WorkerPool::new(1), &gpu, duration, &states, &domains);
+            for threads in THREAD_COUNTS {
+                let pool = WorkerPool::new(threads);
+                let parallel = oracle::sample_with(&pool, &gpu, duration, &states, &domains);
+                assert_eq!(
+                    serial, parallel,
+                    "sample({app}, {grid_name}) differs at {threads} threads"
+                );
+                // Sampling again on the same pool refreshes each lane's
+                // fork arena via clone_from; the result must not change.
+                let again = oracle::sample_with(&pool, &gpu, duration, &states, &domains);
+                assert_eq!(
+                    serial, again,
+                    "arena-reusing resample({app}, {grid_name}) differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sample_uniform_is_bit_identical_across_thread_counts() {
+    let duration = Femtos::from_micros(1);
+    for app in apps() {
+        let gpu = warmed(app);
+        for (grid_name, states) in grids() {
+            let serial = oracle::sample_uniform_with(&WorkerPool::new(1), &gpu, duration, &states);
+            for threads in THREAD_COUNTS {
+                let pool = WorkerPool::new(threads);
+                let parallel = oracle::sample_uniform_with(&pool, &gpu, duration, &states);
+                assert_eq!(
+                    serial, parallel,
+                    "sample_uniform({app}, {grid_name}) differs at {threads} threads"
+                );
+                let again = oracle::sample_uniform_with(&pool, &gpu, duration, &states);
+                assert_eq!(
+                    serial, again,
+                    "arena-reusing resample_uniform({app}, {grid_name}) differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_two_point_is_bit_identical_across_thread_counts() {
+    let duration = Femtos::from_micros(1);
+    let gpu = warmed("comd");
+    let states = FreqStates::paper();
+    let serial = oracle::probe_two_point_with(&WorkerPool::new(1), &gpu, duration, &states);
+    for threads in THREAD_COUNTS {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(
+            serial,
+            oracle::probe_two_point_with(&pool, &gpu, duration, &states),
+            "probe_two_point differs at {threads} threads"
+        );
+    }
+}

@@ -43,7 +43,7 @@ impl Default for CacheConfig {
 /// assert!(!c.access(0));  // cold miss (fills)
 /// assert!(c.access(0));   // hit
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cache {
     cfg: CacheConfig,
     /// `sets * ways` tags; within a set, index 0 is MRU and index
@@ -51,6 +51,23 @@ pub struct Cache {
     tags: Vec<u64>,
     hits: u64,
     misses: u64,
+}
+
+/// Manual `Clone` so `clone_from` copies tags into the destination's
+/// existing allocation (the tag vector is the bulk of a forked GPU's L1/L2
+/// state; see `gpu::Gpu`'s clone docs).
+impl Clone for Cache {
+    fn clone(&self) -> Self {
+        Cache { cfg: self.cfg, tags: self.tags.clone(), hits: self.hits, misses: self.misses }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        let Cache { cfg, tags, hits, misses } = src;
+        self.cfg = *cfg;
+        self.tags.clone_from(tags);
+        self.hits = *hits;
+        self.misses = *misses;
+    }
 }
 
 impl Cache {

@@ -68,7 +68,7 @@ enum Gap {
 }
 
 /// A single compute unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Cu {
     /// CU id (index within the GPU).
     pub id: usize,
@@ -99,6 +99,90 @@ pub struct Cu {
     e_store_stall: Femtos,
     e_lead: Femtos,
     e_op_mix: OpMix,
+}
+
+/// Manual `Clone` so `clone_from` refreshes an existing CU in place: the
+/// wavefront-slot vector, the L1 tag array and the pending-op lists all
+/// reuse the destination's allocations (see `gpu::Gpu`'s clone docs).
+impl Clone for Cu {
+    fn clone(&self) -> Self {
+        Cu {
+            id: self.id,
+            freq: self.freq,
+            period: self.period,
+            next_cycle: self.next_cycle,
+            slots: self.slots.clone(),
+            wgs: self.wgs.clone(),
+            l1: self.l1.clone(),
+            l1_hit_lat: self.l1_hit_lat,
+            issue_width: self.issue_width,
+            cu_pending_loads: self.cu_pending_loads.clone(),
+            cu_pending_stores: self.cu_pending_stores.clone(),
+            epoch_start: self.epoch_start,
+            accounted_until: self.accounted_until,
+            gap_class: self.gap_class,
+            e_committed: self.e_committed,
+            e_busy: self.e_busy,
+            e_mem_only: self.e_mem_only,
+            e_store_only: self.e_store_only,
+            e_idle: self.e_idle,
+            e_store_stall: self.e_store_stall,
+            e_lead: self.e_lead,
+            e_op_mix: self.e_op_mix,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Exhaustive destructuring: adding a field without updating this
+        // copy is a compile error, not a silent stale-state bug.
+        let Cu {
+            id,
+            freq,
+            period,
+            next_cycle,
+            slots,
+            wgs,
+            l1,
+            l1_hit_lat,
+            issue_width,
+            cu_pending_loads,
+            cu_pending_stores,
+            epoch_start,
+            accounted_until,
+            gap_class,
+            e_committed,
+            e_busy,
+            e_mem_only,
+            e_store_only,
+            e_idle,
+            e_store_stall,
+            e_lead,
+            e_op_mix,
+        } = src;
+        self.id = *id;
+        self.freq = *freq;
+        self.period = *period;
+        self.next_cycle = *next_cycle;
+        // Element-wise Wavefront::clone_from keeps each slot's vectors.
+        self.slots.clone_from(slots);
+        self.wgs.clone_from(wgs);
+        self.l1.clone_from(l1);
+        self.l1_hit_lat = *l1_hit_lat;
+        self.issue_width = *issue_width;
+        self.cu_pending_loads.clone_from(cu_pending_loads);
+        self.cu_pending_stores.clone_from(cu_pending_stores);
+        self.epoch_start = *epoch_start;
+        self.accounted_until = *accounted_until;
+        self.gap_class = *gap_class;
+        self.e_committed = *e_committed;
+        self.e_busy = *e_busy;
+        self.e_mem_only = *e_mem_only;
+        self.e_store_only = *e_store_only;
+        self.e_idle = *e_idle;
+        self.e_store_stall = *e_store_stall;
+        self.e_lead = *e_lead;
+        self.e_op_mix = *e_op_mix;
+    }
 }
 
 impl Cu {

@@ -17,7 +17,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The simulated GPU.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Gpu {
     cfg: GpuConfig,
     cus: Vec<Cu>,
@@ -33,6 +33,78 @@ pub struct Gpu {
     completion: Option<Femtos>,
     heap: BinaryHeap<Reverse<(Femtos, usize)>>,
     scratch: CollectScratch,
+}
+
+/// Manual `Clone` whose `clone_from` refreshes an existing fork in place.
+///
+/// `gpu.clone()` is the fork operation of the oracle methodology; forking
+/// every V/f state every epoch made the allocations behind it (every CU's
+/// wavefront slots, L1/L2 tag arrays, the event heap) the hottest
+/// allocation site in the whole reproduction. `fork.clone_from(&gpu)`
+/// produces the *same state bit-for-bit* as a fresh clone — the entire
+/// clone chain (`Cu`, `Wavefront`, `Cache`, `MemSystem`) copies values
+/// into the destination's existing buffers — so a persistent per-thread
+/// fork (`exec::with_arena`) makes steady-state oracle sampling
+/// allocation-free without affecting determinism.
+///
+/// The shared `app` is an `Arc` (refcount bump), and `scratch` holds no
+/// cross-epoch state, so neither is deep-copied.
+impl Clone for Gpu {
+    fn clone(&self) -> Self {
+        Gpu {
+            cfg: self.cfg,
+            cus: self.cus.clone(),
+            mem: self.mem.clone(),
+            app: Arc::clone(&self.app),
+            kernel_idx: self.kernel_idx,
+            next_wg: self.next_wg,
+            wgs_remaining: self.wgs_remaining,
+            next_uid: self.next_uid,
+            next_age: self.next_age,
+            dispatch_cursor: self.dispatch_cursor,
+            now: self.now,
+            completion: self.completion,
+            heap: self.heap.clone(),
+            scratch: CollectScratch::default(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Exhaustive destructuring: adding a field without updating this
+        // copy is a compile error, not a silent stale-state bug.
+        let Gpu {
+            cfg,
+            cus,
+            mem,
+            app,
+            kernel_idx,
+            next_wg,
+            wgs_remaining,
+            next_uid,
+            next_age,
+            dispatch_cursor,
+            now,
+            completion,
+            heap,
+            scratch: _, // the destination keeps its own (stateless) scratch
+        } = src;
+        self.cfg = *cfg;
+        self.cus.clone_from(cus);
+        self.mem.clone_from(mem);
+        if !Arc::ptr_eq(&self.app, app) {
+            self.app = Arc::clone(app);
+        }
+        self.kernel_idx = *kernel_idx;
+        self.next_wg = *next_wg;
+        self.wgs_remaining = *wgs_remaining;
+        self.next_uid = *next_uid;
+        self.next_age = *next_age;
+        self.dispatch_cursor = *dispatch_cursor;
+        self.now = *now;
+        self.completion = *completion;
+        // BinaryHeap::clone_from reuses the backing vector.
+        self.heap.clone_from(heap);
+    }
 }
 
 impl Gpu {
@@ -369,6 +441,26 @@ mod tests {
         let s2 = fork.run_epoch(Femtos::from_micros(5));
         assert_eq!(s1, s2, "clone diverged from original");
         assert_eq!(gpu.now(), fork.now());
+    }
+
+    #[test]
+    fn clone_from_refresh_equals_fresh_clone() {
+        // A reused fork (the oracle's arena) must be indistinguishable from
+        // a fresh clone, even when the destination previously simulated a
+        // different app at a different point in time.
+        let mut gpu = Gpu::new(GpuConfig::tiny(), memory_app(16));
+        gpu.run_epoch(Femtos::from_micros(5));
+        let mut stale = Gpu::new(GpuConfig::tiny(), compute_app(32));
+        stale.run_epoch(Femtos::from_micros(9));
+        stale.clone_from(&gpu);
+        let mut fresh = gpu.clone();
+        for _ in 0..3 {
+            let a = stale.run_epoch(Femtos::from_micros(2));
+            let b = fresh.run_epoch(Femtos::from_micros(2));
+            assert_eq!(a, b, "refreshed fork diverged from fresh clone");
+        }
+        assert_eq!(stale.now(), fresh.now());
+        assert_eq!(stale.completion_time(), fresh.completion_time());
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub struct AccessOutcome {
 }
 
 /// The shared memory system below the per-CU L1s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct MemSystem {
     cfg: MemConfig,
     l2_tags: Vec<Cache>,
@@ -115,6 +115,43 @@ pub struct MemSystem {
     miss_port_next_free: Vec<Femtos>,
     stats: MemEpochStats,
     l2_service: Femtos,
+}
+
+/// Manual `Clone` so `clone_from` reuses the destination's server vectors
+/// and L2 tag arrays (see `gpu::Gpu`'s clone docs).
+impl Clone for MemSystem {
+    fn clone(&self) -> Self {
+        MemSystem {
+            cfg: self.cfg,
+            l2_tags: self.l2_tags.clone(),
+            l2_next_free: self.l2_next_free.clone(),
+            dram_next_free: self.dram_next_free.clone(),
+            miss_port_next_free: self.miss_port_next_free.clone(),
+            stats: self.stats,
+            l2_service: self.l2_service,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        let MemSystem {
+            cfg,
+            l2_tags,
+            l2_next_free,
+            dram_next_free,
+            miss_port_next_free,
+            stats,
+            l2_service,
+        } = src;
+        self.cfg = *cfg;
+        // Vec::clone_from reuses the allocation and calls Cache::clone_from
+        // element-wise, which in turn reuses each bank's tag vector.
+        self.l2_tags.clone_from(l2_tags);
+        self.l2_next_free.clone_from(l2_next_free);
+        self.dram_next_free.clone_from(dram_next_free);
+        self.miss_port_next_free.clone_from(miss_port_next_free);
+        self.stats = *stats;
+        self.l2_service = *l2_service;
+    }
 }
 
 impl MemSystem {

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// as absolute completion timestamps in `pending_loads`/`pending_stores`,
 /// which lets `s_waitcnt` blocking be resolved analytically (no response
 /// events are needed).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Wavefront {
     /// Whether this slot currently holds a live wavefront.
     pub active: bool,
@@ -62,6 +62,71 @@ pub struct Wavefront {
     pub e_start_blocked: bool,
     /// Whether the slot held a live wavefront at any point this epoch.
     pub e_present: bool,
+}
+
+/// Manual `Clone` so `clone_from` reuses the destination's heap buffers
+/// (`branch_iters`, `pending_loads`, `pending_stores`). The oracle's fork
+/// arena refreshes a persistent GPU clone every epoch; with the derived
+/// impl that refresh would reallocate every wavefront's vectors.
+impl Clone for Wavefront {
+    fn clone(&self) -> Self {
+        let mut out = Wavefront::empty();
+        out.clone_from(self);
+        out
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Exhaustive destructuring: adding a field without updating this
+        // copy is a compile error, not a silent stale-state bug.
+        let Wavefront {
+            active,
+            uid,
+            age,
+            wg_local,
+            kernel_idx,
+            pc_index,
+            branch_iters,
+            mem_counter,
+            pending_loads,
+            pending_stores,
+            wait_until,
+            mem_blocked_until,
+            at_barrier,
+            barrier_since,
+            finished,
+            e_committed,
+            e_stall,
+            e_barrier_stall,
+            e_sched_wait,
+            e_lead,
+            e_start_pc_index,
+            e_start_blocked,
+            e_present,
+        } = src;
+        self.active = *active;
+        self.uid = *uid;
+        self.age = *age;
+        self.wg_local = *wg_local;
+        self.kernel_idx = *kernel_idx;
+        self.pc_index = *pc_index;
+        self.branch_iters.clone_from(branch_iters);
+        self.mem_counter = *mem_counter;
+        self.pending_loads.clone_from(pending_loads);
+        self.pending_stores.clone_from(pending_stores);
+        self.wait_until = *wait_until;
+        self.mem_blocked_until = *mem_blocked_until;
+        self.at_barrier = *at_barrier;
+        self.barrier_since = *barrier_since;
+        self.finished = *finished;
+        self.e_committed = *e_committed;
+        self.e_stall = *e_stall;
+        self.e_barrier_stall = *e_barrier_stall;
+        self.e_sched_wait = *e_sched_wait;
+        self.e_lead = *e_lead;
+        self.e_start_pc_index = *e_start_pc_index;
+        self.e_start_blocked = *e_start_blocked;
+        self.e_present = *e_present;
+    }
 }
 
 impl Wavefront {

@@ -10,12 +10,14 @@ use crate::session::{
 use dvfs::epoch::EpochConfig;
 use dvfs::objective::Objective;
 use dvfs::states::FreqStates;
+use exec::WorkerPool;
 use gpu_sim::config::GpuConfig;
 use gpu_sim::kernel::App;
 use pcstall::policy::PolicyKind;
 use power::energy::RunMetrics;
 use power::model::{PowerConfig, PowerModel};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of one policy-controlled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,20 +106,31 @@ impl RunResult {
 }
 
 /// Runs `app` to completion (or the epoch cap) under `cfg`'s policy.
+/// Oracle sampling uses the process-global [`exec::WorkerPool`].
 pub fn run(app: &App, cfg: &RunConfig) -> RunResult {
-    run_inner(app, cfg, false)
+    run_inner(app, cfg, false, None)
+}
+
+/// Like [`run`], but samples the oracle on an explicit `pool` instead of
+/// the process-global one. The result is bit-identical to [`run`] at any
+/// pool size.
+pub fn run_with_pool(app: &App, cfg: &RunConfig, pool: Arc<WorkerPool>) -> RunResult {
+    run_inner(app, cfg, false, Some(pool))
 }
 
 /// Like [`run`], but additionally forces fork–pre-execute sampling every
 /// epoch and records a ground-truth [`SensitivityTrace`] into
 /// [`RunResult::sensitivity_trace`] (the Figure 6 measurement path).
 pub fn run_with_sensitivity_trace(app: &App, cfg: &RunConfig) -> RunResult {
-    run_inner(app, cfg, true)
+    run_inner(app, cfg, true, None)
 }
 
-fn run_inner(app: &App, cfg: &RunConfig, trace: bool) -> RunResult {
+fn run_inner(app: &App, cfg: &RunConfig, trace: bool, pool: Option<Arc<WorkerPool>>) -> RunResult {
     let power = PowerModel::new(cfg.power);
     let mut session = Session::new(app, cfg).sampling_every_epoch(trace);
+    if let Some(pool) = pool {
+        session = session.with_pool(pool);
+    }
     let mut energy = EnergyObserver::new(power);
     let mut accuracy = AccuracyObserver::new();
     let mut residency = ResidencyObserver::new(cfg.states.clone());

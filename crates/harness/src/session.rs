@@ -27,6 +27,7 @@ use crate::runner::{RunConfig, RunResult};
 use dvfs::domain::DomainMap;
 use dvfs::hierarchy::{PowerCapConfig, PowerCapManager};
 use dvfs::states::FreqStates;
+use exec::WorkerPool;
 use gpu_sim::gpu::Gpu;
 use gpu_sim::kernel::App;
 use gpu_sim::stats::EpochStats;
@@ -39,6 +40,7 @@ use power::model::PowerModel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Counts every [`Session`] constructed in this process (each is one full
 /// policy-in-the-loop simulator run; oracle forks are not counted). Used to
@@ -113,6 +115,11 @@ pub struct Session {
     allowed: FreqStates,
     epochs: usize,
     sample_always: bool,
+    /// Pool the fork–pre-execute oracle samples on. Defaults to the
+    /// process-global pool; a session nested inside a pool job (e.g. one
+    /// grid cell) still passes it down — nested maps inline, so outer-level
+    /// parallelism wins and the thread budget is never exceeded.
+    pool: Arc<WorkerPool>,
     /// Telemetry buffer the epoch collects into (reused; no per-epoch
     /// allocation in steady state).
     stats_buf: EpochStats,
@@ -150,6 +157,7 @@ impl Session {
             allowed: cfg.states.clone(),
             epochs: 0,
             sample_always: false,
+            pool: exec::global_pool(),
             stats_buf: EpochStats::empty(),
             prev_stats: EpochStats::empty(),
             has_prev: false,
@@ -168,6 +176,14 @@ impl Session {
     /// passed to the policy only when it asks for them.
     pub fn sampling_every_epoch(mut self, on: bool) -> Self {
         self.sample_always = on;
+        self
+    }
+
+    /// Samples the oracle on `pool` instead of the process-global pool
+    /// (useful for determinism tests and benchmarks that pin an explicit
+    /// thread count).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -210,7 +226,13 @@ impl Session {
             return false;
         }
         let samples = if self.sample_always || self.cfg.policy.needs_oracle() {
-            Some(oracle::sample(&self.gpu, self.cfg.epoch.duration, &self.allowed, &self.domains))
+            Some(oracle::sample_with(
+                &self.pool,
+                &self.gpu,
+                self.cfg.epoch.duration,
+                &self.allowed,
+                &self.domains,
+            ))
         } else {
             None
         };

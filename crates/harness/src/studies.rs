@@ -127,6 +127,9 @@ struct ProbeObserver {
     states: FreqStates,
     est: WfStallEstimator,
     epoch: Femtos,
+    /// Pool the two-point probe forks run on (the process-global pool; a
+    /// nested probe inside a pool job inlines, so the budget holds).
+    pool: std::sync::Arc<exec::WorkerPool>,
     cu_sens: Vec<Vec<f64>>,
     wf: Vec<Vec<Vec<WfProbe>>>,
 }
@@ -137,6 +140,7 @@ impl ProbeObserver {
             states: FreqStates::paper(),
             est: WfStallEstimator::default(),
             epoch,
+            pool: exec::global_pool(),
             cu_sens: Vec::new(),
             wf: Vec::new(),
         }
@@ -148,7 +152,7 @@ impl RunObserver for ProbeObserver {
         // Fires before frequencies are applied, so the probe forks from the
         // exact pre-epoch state.
         let df = (self.states.max().mhz() - self.states.min().mhz()) as f64;
-        let (lo, hi) = oracle::probe_two_point(ctx.gpu, self.epoch, &self.states);
+        let (lo, hi) = oracle::probe_two_point_with(&self.pool, ctx.gpu, self.epoch, &self.states);
         let mut epoch_cu = Vec::with_capacity(ctx.gpu.n_cus());
         for c in 0..ctx.gpu.n_cus() {
             epoch_cu.push((hi.cus[c].committed as f64 - lo.cus[c].committed as f64) / df);
@@ -415,12 +419,13 @@ pub fn linearity_study(
     sample_stride: usize,
 ) -> LinearityResult {
     let states = FreqStates::paper();
+    let pool = exec::global_pool();
     let mut gpu = Gpu::new(*gpu_cfg, app.clone());
     let mut curves = Vec::new();
     let mut epoch_idx = 0usize;
     while curves.len() < n_samples && !gpu.is_done() && epoch_idx < n_samples * sample_stride * 4 {
         if epoch_idx.is_multiple_of(sample_stride) {
-            let all = oracle::sample_uniform(&gpu, epoch, &states);
+            let all = oracle::sample_uniform_with(&pool, &gpu, epoch, &states);
             // Record the busiest CU's curve for this sample.
             let busiest = (0..gpu.n_cus())
                 .max_by_key(|&c| all.iter().map(|s| s.cus[c].committed).sum::<u64>())

@@ -3,6 +3,7 @@
 //! the same normalization run.
 
 use crate::runner::{run, RunConfig, RunResult};
+use exec::global_pool;
 use gpu_sim::kernel::App;
 use pcstall::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
@@ -21,34 +22,14 @@ pub struct SuiteCell {
     pub result: RunResult,
 }
 
-/// Applies `f` to every item on a pool of `threads` scoped workers
-/// (dynamic load balancing via a shared index); results preserve item
-/// order.
-pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(items.len().max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(idx) else { break };
-                *slots[idx].lock().expect("result slot") = Some(f(item));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("result slot").expect("worker filled every slot"))
-        .collect()
-}
-
-/// Runs every `(app, policy)` pair, load-balanced over `threads` workers.
+/// Runs every `(app, policy)` pair on the process-global
+/// [`exec::WorkerPool`], load-balanced across at most `threads` lanes.
 /// Results preserve grid order (apps outer, policies inner).
+///
+/// Each cell runs a whole policy-in-the-loop session whose oracle sampling
+/// would itself map onto the same pool; the pool inlines nested maps, so
+/// grid-level parallelism wins and total concurrency never exceeds the
+/// pool size — no oversubscription however deep the nesting.
 pub fn run_grid(
     apps: &[App],
     policies: &[PolicyKind],
@@ -57,17 +38,18 @@ pub fn run_grid(
 ) -> Vec<SuiteCell> {
     let jobs: Vec<(&App, PolicyKind)> =
         apps.iter().flat_map(|app| policies.iter().map(move |&p| (app, p))).collect();
-    parallel_map(&jobs, threads, |&(app, policy)| {
+    global_pool().map_capped(&jobs, threads, |&(app, policy)| {
         let cfg = RunConfig { policy, ..base.clone() };
         let result = run(app, &cfg);
         SuiteCell { app: app.name.clone(), policy: policy.name(), result }
     })
 }
 
-/// Default worker count: physical parallelism capped at 8 (each worker
-/// simulates a whole GPU; memory stays modest).
+/// Default worker count (delegates to [`exec::default_threads`]: the
+/// `PCSTALL_THREADS` override, else physical parallelism capped at 8 —
+/// each worker simulates a whole GPU, so memory stays modest).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    exec::default_threads()
 }
 
 /// A keyed cache of static-baseline runs.
@@ -152,7 +134,7 @@ impl BaselineCache {
         threads: usize,
     ) -> Vec<SuiteCell> {
         let cfg = RunConfig { policy: PolicyKind::Static(static_mhz), ..base.clone() };
-        parallel_map(apps, threads, |app| {
+        global_pool().map_capped(apps, threads, |app| {
             let result = self.get_or_run(app, &cfg);
             SuiteCell { app: app.name.clone(), policy: result.policy.clone(), result }
         })

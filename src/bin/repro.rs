@@ -1,14 +1,18 @@
 //! Command-line driver for the reproduction harness.
 //!
 //! ```text
-//! repro list                 list every figure/table experiment
-//! repro run <id> [--full]    run one experiment (e.g. `repro run fig14`)
-//! repro all [--full]         run every experiment in sequence
+//! repro list                           list every figure/table experiment
+//! repro run <id> [--full] [--threads N]   run one experiment
+//! repro all [--full] [--threads N]        run every experiment in sequence
 //! ```
 //!
 //! `--full` selects the paper's 64-CU platform at standard workload scale
 //! (equivalent to `PCSTALL_FULL=1`); the default is the reduced 16-CU
-//! preset. Outputs are printed and archived under `results/`.
+//! preset. `--threads N` sizes the process-global worker pool that grid
+//! sweeps and fork–pre-execute oracle sampling run on (equivalent to
+//! `PCSTALL_THREADS=N`; default: physical parallelism capped at 8).
+//! Results are bit-identical at every thread count. Outputs are printed
+//! and archived under `results/`.
 
 use harness::figures::{self, FigureOutput, Preset};
 use std::process::ExitCode;
@@ -45,8 +49,30 @@ fn preset(args: &[String]) -> Preset {
     }
 }
 
+/// Applies a `--threads N` flag to the process-global worker pool (must
+/// run before anything touches the pool). Returns `Err` on a malformed
+/// flag.
+fn apply_threads_flag(args: &[String]) -> Result<(), String> {
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return Ok(());
+    };
+    let n: usize = args
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .ok_or("--threads requires a positive integer, e.g. --threads 8")?;
+    if !exec::set_global_threads(n) {
+        return Err("worker pool already initialized; pass --threads earlier".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = apply_threads_flag(&args) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("available experiments (run with `repro run <id>`):\n");
@@ -57,7 +83,7 @@ fn main() -> ExitCode {
         }
         Some("run") => {
             let Some(id) = args.get(1) else {
-                eprintln!("usage: repro run <id> [--full]");
+                eprintln!("usage: repro run <id> [--full] [--threads N]");
                 return ExitCode::FAILURE;
             };
             let Some((_name, _, f)) = registry().into_iter().find(|(n, _, _)| n == id) else {
@@ -89,7 +115,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: repro <list|run <id>|all> [--full]");
+            eprintln!("usage: repro <list|run <id>|all> [--full] [--threads N]");
             ExitCode::FAILURE
         }
     }

@@ -28,4 +28,16 @@ PCSTALL_THREADS=8 cargo test -q -p pcstall --test oracle_determinism
 echo "==> oracle scaling bench (smoke: one iteration per pool size)"
 PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench oracle_scaling
 
+# Fault-injection determinism at the thread-count extremes: fault decisions
+# hash (seed, epoch, channel, lane) — never thread state — so a faulted
+# grid must be bit-identical on one inline lane and on 8 workers.
+echo "==> fault injection & degradation ladder @ PCSTALL_THREADS=1"
+PCSTALL_THREADS=1 cargo test -q -p harness --test resilience_faults
+
+echo "==> fault injection & degradation ladder @ PCSTALL_THREADS=8"
+PCSTALL_THREADS=8 cargo test -q -p harness --test resilience_faults
+
+echo "==> resilience smoke bench (2 apps x 2 policies x 2 fault rates)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench resilience
+
 echo "CI OK"

@@ -88,6 +88,6 @@ fn main() {
         rows.join(",\n")
     );
     let path = bench::results_dir().join("BENCH_oracle.json");
-    std::fs::write(&path, json).expect("write BENCH_oracle.json");
+    harness::report::write_atomic(&path, &json).expect("write BENCH_oracle.json");
     println!("wrote {}", path.display());
 }

@@ -1,0 +1,10 @@
+//! The resilience study: energy savings / slowdown vs fault rate for the
+//! Table III designs under the seeded fault-injection layer, with the
+//! degradation ladder attached. Run: `cargo bench --bench resilience`
+//! (`PCSTALL_BENCH_SMOKE=1` shrinks the sweep to 2 apps × 2 policies ×
+//! 2 rates for CI; `PCSTALL_FULL=1` for the 64-CU paper-scale platform).
+//! Raw curves land in `results/resilience.json`.
+
+fn main() {
+    bench::run_figure("resilience", harness::figures::resilience);
+}

@@ -6,31 +6,37 @@
 //! platform), prints the paper-style table, and archives it under
 //! `results/`.
 
-use harness::figures::{FigureOutput, Preset};
-use harness::report::write_csv;
+use harness::figures::{FigureOutput, FigureResult, Preset};
+use harness::report::{write_atomic, write_csv};
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// Runs one figure experiment, prints its table and archives it.
-pub fn run_figure(name: &str, f: fn(&Preset) -> FigureOutput) {
+/// Runs one figure experiment, prints its table and archives it. A failed
+/// experiment prints its typed error and exits with status 1, so CI and
+/// scripts see the failure instead of a clean bench run.
+pub fn run_figure(name: &str, f: fn(&Preset) -> FigureResult) {
     let preset = Preset::from_env();
     let t0 = Instant::now();
-    let out = f(&preset);
+    let out = match f(&preset) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("[{name}] failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!("[{name}] computed in {:.1}s", t0.elapsed().as_secs_f64());
     run_figure_with(name, &preset, out);
 }
 
-/// Prints and archives an already-computed figure output.
+/// Prints and archives an already-computed figure output. Both artifacts
+/// go through the atomic writer: an interrupted bench leaves the previous
+/// complete file, never a truncated one.
 pub fn run_figure_with(name: &str, preset: &Preset, out: FigureOutput) {
     let t0 = Instant::now();
     println!("{}", out.render());
     let dir = results_dir();
     let md = dir.join(format!("{name}.md"));
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    if let Err(e) = std::fs::write(&md, out.render()) {
+    if let Err(e) = write_atomic(&md, &out.render()) {
         eprintln!("warning: cannot write {}: {e}", md.display());
     }
     let headers: Vec<&str> = out.headers.iter().map(String::as_str).collect();

@@ -40,6 +40,7 @@ pub mod history;
 pub mod oracle;
 pub mod pc_table;
 pub mod policy;
+pub mod resilience;
 pub mod sensitivity;
 
 /// Convenient re-exports.
@@ -51,6 +52,8 @@ pub mod prelude {
     pub use crate::pc_table::{PcTable, PcTableConfig};
     pub use crate::policy::{
         DecideCtx, Decision, DvfsPolicy, PcStallConfig, PcStallPolicy, PolicyKind, TableScope,
+        Telemetry,
     };
+    pub use crate::resilience::{FallbackConfig, FallbackCounts, ResilientPolicy};
     pub use crate::sensitivity::{avg_relative_change, fit_line, FreqResponse, LinearModel};
 }

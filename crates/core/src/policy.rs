@@ -32,11 +32,67 @@ use gpu_sim::time::Frequency;
 use power::model::PowerModel;
 use serde::{Deserialize, Serialize};
 
+/// The delivery state of the elapsed epoch's telemetry.
+///
+/// On an ideal GPU this is always [`Telemetry::Warmup`] (before the first
+/// epoch) or [`Telemetry::Fresh`]. A faulty counter path (see the `faults`
+/// crate) can instead replay an old snapshot ([`Telemetry::Stale`]) or
+/// deliver nothing at all ([`Telemetry::Lost`]); degradation-aware
+/// wrappers such as [`crate::resilience::ResilientPolicy`] react to the
+/// variant, while plain policies just consume [`Telemetry::stats`].
+#[derive(Debug, Clone, Copy)]
+pub enum Telemetry<'a> {
+    /// No epoch has elapsed yet — there is nothing to deliver.
+    Warmup,
+    /// The elapsed epoch's counters arrived on time.
+    Fresh(&'a EpochStats),
+    /// An earlier epoch's counters were replayed; `age` is how many epochs
+    /// old the snapshot is (1 = previous epoch's delivery).
+    Stale {
+        /// The stale snapshot.
+        stats: &'a EpochStats,
+        /// Snapshot age in epochs.
+        age: usize,
+    },
+    /// Nothing arrived; `age` counts consecutive undelivered epochs.
+    Lost {
+        /// Consecutive epochs without any delivery.
+        age: usize,
+    },
+}
+
+impl<'a> Telemetry<'a> {
+    /// The delivered counters, if any (fresh or stale). Plain policies use
+    /// this and behave exactly as they did before faults existed: a stale
+    /// snapshot is indistinguishable from a fresh one, and `Lost` looks
+    /// like warmup.
+    pub fn stats(&self) -> Option<&'a EpochStats> {
+        match *self {
+            Telemetry::Fresh(s) | Telemetry::Stale { stats: s, .. } => Some(s),
+            Telemetry::Warmup | Telemetry::Lost { .. } => None,
+        }
+    }
+
+    /// The ideal-path constructor: `None` before the first epoch, fresh
+    /// afterwards.
+    pub fn from_prev(prev: Option<&'a EpochStats>) -> Self {
+        match prev {
+            Some(s) => Telemetry::Fresh(s),
+            None => Telemetry::Warmup,
+        }
+    }
+
+    /// Whether this epoch delivered nothing (the policy is flying blind).
+    pub fn is_blind(&self) -> bool {
+        matches!(self, Telemetry::Lost { .. })
+    }
+}
+
 /// Everything a policy sees at an epoch boundary.
 #[derive(Debug)]
 pub struct DecideCtx<'a> {
-    /// Telemetry of the elapsed epoch (`None` before the first epoch).
-    pub stats: Option<&'a EpochStats>,
+    /// Delivery state and counters of the elapsed epoch.
+    pub telemetry: Telemetry<'a>,
     /// The live GPU (policies read each wavefront's *next* PC from it).
     pub gpu: &'a Gpu,
     /// The V/f domain partition.
@@ -54,6 +110,14 @@ pub struct DecideCtx<'a> {
     /// Fork–pre-execute samples of the *upcoming* epoch; present only for
     /// policies whose [`DvfsPolicy::needs_oracle`] returns true.
     pub samples: Option<&'a OracleSamples>,
+}
+
+impl<'a> DecideCtx<'a> {
+    /// The elapsed epoch's counters, if delivered (`None` before the first
+    /// epoch or when telemetry was lost).
+    pub fn stats(&self) -> Option<&'a EpochStats> {
+        self.telemetry.stats()
+    }
 }
 
 /// One domain's decision: the chosen state and the design's predicted
@@ -79,6 +143,13 @@ pub trait DvfsPolicy: std::fmt::Debug + Send {
 
     /// Decides every domain's next-epoch frequency.
     fn decide(&mut self, ctx: &DecideCtx<'_>) -> Vec<Decision>;
+
+    /// Degradation-ladder occupancy counters, for policies that wrap a
+    /// fallback ladder (see [`crate::resilience::ResilientPolicy`]).
+    /// `None` for plain policies.
+    fn fault_ladder(&self) -> Option<crate::resilience::FallbackCounts> {
+        None
+    }
 }
 
 /// Maps a (kernel, pc) pair to the table's PC key: each kernel's code
@@ -148,7 +219,7 @@ impl DvfsPolicy for StaticPolicy {
                 // A static design makes no prediction; report the last
                 // actual as a flat curve so accuracy is still measurable.
                 let last =
-                    ctx.stats.map(|s| s.committed_in(ctx.domains.cus(d)) as f64).unwrap_or(0.0);
+                    ctx.stats().map(|s| s.committed_in(ctx.domains.cus(d)) as f64).unwrap_or(0.0);
                 // Clamp into the (possibly power-capped) state set.
                 Decision { freq: ctx.states.nearest(self.freq), predicted: vec![last; n_states] }
             })
@@ -176,7 +247,7 @@ impl DvfsPolicy for ReactivePolicy {
         decide_all(ctx, |d| {
             let cus = ctx.domains.cus(d).to_vec();
             let est = self.estimator;
-            match ctx.stats {
+            match ctx.stats() {
                 Some(stats) => {
                     let responses: Vec<_> = cus
                         .iter()
@@ -271,7 +342,7 @@ impl DvfsPolicy for HistoryPolicy {
                 .collect();
             self.last = vec![LinearModel::ZERO; ctx.domains.len()];
         }
-        if let Some(stats) = ctx.stats {
+        if let Some(stats) = ctx.stats() {
             let f_lo = ctx.states.min();
             let f_hi = ctx.states.max();
             for (d, cus) in ctx.domains.iter() {
@@ -425,7 +496,7 @@ impl PcStallPolicy {
     }
 
     fn update_from_epoch(&mut self, ctx: &DecideCtx<'_>) {
-        let Some(stats) = ctx.stats else { return };
+        let Some(stats) = ctx.stats() else { return };
         let f_lo = ctx.states.min();
         let f_hi = ctx.states.max();
         for (cu, cu_stats) in stats.cus.iter().enumerate() {

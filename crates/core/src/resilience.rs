@@ -1,0 +1,191 @@
+//! Graceful degradation under telemetry faults: the fallback ladder.
+//!
+//! [`ResilientPolicy`] wraps any [`DvfsPolicy`] and keeps the control loop
+//! producing sane decisions when the counter path misbehaves (see the
+//! `faults` crate). Delivered telemetry — fresh or stale — goes straight
+//! to the wrapped design. Consecutive *blind* epochs (telemetry
+//! [`Telemetry::Lost`]) descend a three-rung ladder:
+//!
+//! 1. **Hold** (≤ [`FallbackConfig::hold_epochs`] blind epochs): repeat the
+//!    last decisions — GPU phases outlast an epoch, so a short outage is
+//!    best ridden out in place.
+//! 2. **Reactive STALL fallback** (≤ `hold_epochs + stall_epochs`): feed
+//!    the last successfully delivered snapshot to a reactive STALL
+//!    estimator — the simplest Table III design, with no warm-up state to
+//!    lose. Predicting from a stale snapshot beats predicting from
+//!    nothing.
+//! 3. **Max-frequency safe mode** (beyond): the snapshot is too old to
+//!    trust; pin every domain to the highest legal state so a prolonged
+//!    counter outage costs energy, never deadline.
+//!
+//! The ladder resets the moment anything is delivered again. Rung
+//! occupancy is tracked in [`FallbackCounts`] and surfaced through
+//! [`DvfsPolicy::fault_ladder`] so the harness can report how often a run
+//! actually degraded.
+
+use crate::estimators::CuEstimator;
+use crate::policy::{DecideCtx, Decision, DvfsPolicy, ReactivePolicy, Telemetry};
+use gpu_sim::stats::EpochStats;
+use gpu_sim::time::Frequency;
+use serde::{Deserialize, Serialize};
+
+/// Ladder depth configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FallbackConfig {
+    /// Blind epochs to ride out by repeating the last decisions.
+    pub hold_epochs: u32,
+    /// Further blind epochs served by the reactive STALL fallback before
+    /// dropping to max-frequency safe mode.
+    pub stall_epochs: u32,
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        // Hold for ~one phase transition, then trust the stale snapshot
+        // for a handful of epochs before giving up on it.
+        FallbackConfig { hold_epochs: 2, stall_epochs: 6 }
+    }
+}
+
+/// How many epochs a run spent on each rung of the ladder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FallbackCounts {
+    /// Epochs decided normally by the wrapped design.
+    pub normal: u64,
+    /// Blind epochs that held the previous decisions.
+    pub hold: u64,
+    /// Blind epochs decided by the reactive STALL fallback.
+    pub stall: u64,
+    /// Blind epochs pinned to the maximum frequency.
+    pub safe: u64,
+}
+
+impl FallbackCounts {
+    /// Epochs on any degraded rung (everything but normal).
+    pub fn engaged(&self) -> u64 {
+        self.hold + self.stall + self.safe
+    }
+}
+
+/// A degradation-aware wrapper around any DVFS design (module docs have
+/// the ladder semantics).
+#[derive(Debug)]
+pub struct ResilientPolicy {
+    inner: Box<dyn DvfsPolicy>,
+    cfg: FallbackConfig,
+    fallback: ReactivePolicy,
+    /// Last successfully delivered (fresh) snapshot, for the STALL rung.
+    last_good: Option<EpochStats>,
+    /// Epochs since `last_good` was captured.
+    last_good_age: usize,
+    /// Last decisions: (chosen frequency, predicted instructions at it).
+    held: Vec<(Frequency, f64)>,
+    /// Consecutive blind epochs.
+    blind: u32,
+    counts: FallbackCounts,
+}
+
+impl ResilientPolicy {
+    /// Wraps `inner` with the given ladder depths.
+    pub fn new(inner: Box<dyn DvfsPolicy>, cfg: FallbackConfig) -> Self {
+        ResilientPolicy {
+            inner,
+            cfg,
+            fallback: ReactivePolicy { estimator: CuEstimator::Stall },
+            last_good: None,
+            last_good_age: 0,
+            held: Vec::new(),
+            blind: 0,
+            counts: FallbackCounts::default(),
+        }
+    }
+
+    /// Remember what was decided so the hold rung can repeat it.
+    fn remember(&mut self, ctx: &DecideCtx<'_>, decisions: &[Decision]) {
+        self.held.clear();
+        self.held.extend(decisions.iter().map(|d| {
+            let at = ctx.states.index_of(d.freq).map(|i| d.predicted[i]).unwrap_or(0.0);
+            (d.freq, at)
+        }));
+    }
+
+    /// Rung 1: repeat the held decisions, re-clamped into the current
+    /// legal state set (a thermal clamp may have shrunk it since).
+    fn hold(&self, ctx: &DecideCtx<'_>) -> Vec<Decision> {
+        let n = ctx.states.len();
+        self.held
+            .iter()
+            .map(|&(f, at)| Decision { freq: ctx.states.nearest(f), predicted: vec![at; n] })
+            .collect()
+    }
+
+    /// Rung 3: every domain to the highest legal state.
+    fn safe_max(&self, ctx: &DecideCtx<'_>) -> Vec<Decision> {
+        let n = ctx.states.len();
+        (0..ctx.domains.len())
+            .map(|_| Decision { freq: ctx.states.max(), predicted: vec![0.0; n] })
+            .collect()
+    }
+}
+
+impl DvfsPolicy for ResilientPolicy {
+    fn name(&self) -> String {
+        // Transparent: sweeps and figures label columns by design name, and
+        // the wrapper does not change which design is being evaluated.
+        self.inner.name()
+    }
+
+    fn needs_oracle(&self) -> bool {
+        self.inner.needs_oracle()
+    }
+
+    fn fault_ladder(&self) -> Option<FallbackCounts> {
+        Some(self.counts)
+    }
+
+    fn decide(&mut self, ctx: &DecideCtx<'_>) -> Vec<Decision> {
+        if let Some(s) = ctx.telemetry.stats() {
+            if matches!(ctx.telemetry, Telemetry::Fresh(_)) {
+                match &mut self.last_good {
+                    Some(g) => g.clone_from(s),
+                    None => self.last_good = Some(s.clone()),
+                }
+                self.last_good_age = 0;
+            }
+        }
+        self.last_good_age += 1;
+        if !ctx.telemetry.is_blind() {
+            self.blind = 0;
+            self.counts.normal += 1;
+            let decisions = self.inner.decide(ctx);
+            self.remember(ctx, &decisions);
+            return decisions;
+        }
+        self.blind += 1;
+        if self.blind <= self.cfg.hold_epochs && !self.held.is_empty() {
+            self.counts.hold += 1;
+            return self.hold(ctx);
+        }
+        if self.blind <= self.cfg.hold_epochs + self.cfg.stall_epochs {
+            if let Some(last_good) = &self.last_good {
+                self.counts.stall += 1;
+                let synth = DecideCtx {
+                    telemetry: Telemetry::Stale { stats: last_good, age: self.last_good_age },
+                    gpu: ctx.gpu,
+                    domains: ctx.domains,
+                    states: ctx.states,
+                    epoch: ctx.epoch,
+                    power: ctx.power,
+                    objective: ctx.objective,
+                    current: ctx.current,
+                    samples: None,
+                };
+                let decisions = self.fallback.decide(&synth);
+                self.remember(ctx, &decisions);
+                return decisions;
+            }
+        }
+        self.counts.safe += 1;
+        self.safe_max(ctx)
+    }
+}

@@ -13,7 +13,7 @@ use gpu_sim::mem::MemEpochStats;
 use gpu_sim::stats::{CuEpochStats, EpochStats, WfEpochStats};
 use gpu_sim::time::{Femtos, Frequency};
 use pcstall::estimators::CuEstimator;
-use pcstall::policy::{DecideCtx, DvfsPolicy, PcStallConfig, PolicyKind};
+use pcstall::policy::{DecideCtx, DvfsPolicy, PcStallConfig, PolicyKind, Telemetry};
 use power::model::{PowerConfig, PowerModel};
 
 /// A GPU whose live wavefront state backs the policy's PC lookups.
@@ -98,7 +98,7 @@ impl Fixture {
 
     fn decide(&self, policy: &mut dyn DvfsPolicy, stats: Option<&EpochStats>) -> Vec<Frequency> {
         let ctx = DecideCtx {
-            stats,
+            telemetry: Telemetry::from_prev(stats),
             gpu: &self.gpu,
             domains: &self.domains,
             states: &self.states,

@@ -164,6 +164,53 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
+/// The broadcast payload of one [`WorkerPool::map_quarantine`] call. Like
+/// [`MapJob`], but a panicking item is *quarantined* — its index is
+/// recorded and the lane moves on to the next item instead of draining the
+/// cursor — so one poisoned lane no longer aborts the whole map.
+struct QuarantineJob<'a, T, R, F> {
+    items: &'a [T],
+    slots: &'a [Mutex<Option<R>>],
+    f: &'a F,
+    next: AtomicUsize,
+    tickets: AtomicUsize,
+    cap: usize,
+    /// Indices whose first attempt panicked; resubmitted by the caller.
+    failed: Mutex<Vec<usize>>,
+}
+
+impl<T, R, F> QuarantineJob<'_, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    fn run_items(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = self.items.get(i) else { break };
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
+                Ok(r) => *lock(&self.slots[i]) = Some(r),
+                Err(_) => lock(&self.failed).push(i),
+            }
+        }
+    }
+}
+
+impl<T, R, F> RunJob for QuarantineJob<'_, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    fn run_worker(&self) {
+        if self.tickets.fetch_add(1, Ordering::Relaxed) + 1 >= self.cap {
+            return;
+        }
+        self.run_items();
+    }
+}
+
 /// The broadcast payload of one `map` call: items, pre-indexed result
 /// slots, a shared cursor for dynamic load balancing, and the first
 /// captured panic.
@@ -336,6 +383,96 @@ impl WorkerPool {
                     .expect("every item mapped")
             })
             .collect()
+    }
+
+    /// Like [`WorkerPool::map_capped`], but an item whose `f` panics is
+    /// **quarantined and resubmitted** instead of aborting the map: the
+    /// surviving lanes keep draining the remaining items, and after the
+    /// pool quiesces every failed item is retried once, serially, on the
+    /// calling thread. Returns the in-order results plus the number of
+    /// items that needed resubmission. For a deterministic `f` whose
+    /// retries succeed, the results are bit-identical to a panic-free
+    /// [`WorkerPool::map_capped`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Only if an item panics on its *second* attempt too — a persistent
+    /// fault, not a transient lane loss.
+    pub fn map_quarantine<T, R, F>(&self, items: &[T], cap: usize, f: F) -> (Vec<R>, usize)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let cap = cap.clamp(1, self.threads);
+        if cap == 1 || items.len() <= 1 || in_worker() {
+            let mut resubmitted = 0;
+            let out = items
+                .iter()
+                .map(|item| {
+                    catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|_| {
+                        resubmitted += 1;
+                        f(item)
+                    })
+                })
+                .collect();
+            return (out, resubmitted);
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let job = QuarantineJob {
+            items,
+            slots: &slots,
+            f: &f,
+            next: AtomicUsize::new(0),
+            tickets: AtomicUsize::new(0),
+            cap,
+            failed: Mutex::new(Vec::new()),
+        };
+        let submit = lock(&self.submit);
+        {
+            let erased: *const (dyn RunJob + '_) = &job;
+            // SAFETY (lifetime erasure): identical to `map_capped` — the
+            // quiesce block below retracts the handle and waits for
+            // `running == 0` before `job` can drop.
+            #[allow(clippy::missing_transmute_annotations)]
+            let handle = JobHandle(unsafe { std::mem::transmute(erased) });
+            let mut st = lock(&self.shared.state);
+            st.job = Some(handle);
+            st.generation += 1;
+            self.shared.work_cv.notify_all();
+        }
+        let was_worker = IN_WORKER.with(|w| w.replace(true));
+        let mine = catch_unwind(AssertUnwindSafe(|| job.run_items()));
+        IN_WORKER.with(|w| w.set(was_worker));
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = None;
+            while st.running > 0 {
+                st = wait(&self.shared.done_cv, st);
+            }
+        }
+        drop(submit);
+        if let Err(p) = mine {
+            resume_unwind(p);
+        }
+        // Resubmit quarantined items serially; sorted so the retry order
+        // (and any second-attempt panic) is deterministic.
+        let mut failed = lock(&job.failed).split_off(0);
+        failed.sort_unstable();
+        let resubmitted = failed.len();
+        for i in failed {
+            *lock(&slots[i]) = Some(f(&items[i]));
+        }
+        drop(job);
+        let out = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every item mapped or resubmitted")
+            })
+            .collect();
+        (out, resubmitted)
     }
 }
 
@@ -524,6 +661,71 @@ mod tests {
         // The pool must remain usable after a panicked map.
         let ok = pool.map(&items, |&i| i + 1);
         assert_eq!(ok[39], 40);
+    }
+
+    #[test]
+    fn quarantine_recovers_from_lane_panics() {
+        // A set of first-attempt panics must not abort the map, must not
+        // deadlock, and must leave results identical to a clean run.
+        static ATTEMPTS: [AtomicUsize; 40] = [const { AtomicUsize::new(0) }; 40];
+        let panicky = |&i: &usize| {
+            if (i == 3 || i == 17 || i == 39) && ATTEMPTS[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient fault on {i}");
+            }
+            i * 7
+        };
+        let items: Vec<usize> = (0..40).collect();
+        let clean: Vec<usize> = items.iter().map(|&i| i * 7).collect();
+        let pool = WorkerPool::new(4);
+        let (out, resubmitted) = pool.map_quarantine(&items, usize::MAX, panicky);
+        assert_eq!(out, clean);
+        assert_eq!(resubmitted, 3);
+        // The pool remains usable afterwards.
+        assert_eq!(pool.map(&items, |&i| i + 1)[39], 40);
+    }
+
+    #[test]
+    fn quarantine_serial_path_retries_once() {
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(1);
+        let items: Vec<usize> = (0..10).collect();
+        let (out, resubmitted) = pool.map_quarantine(&items, 1, |&i| {
+            if i == 5 && ATTEMPTS.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("once");
+            }
+            i
+        });
+        assert_eq!(out, items);
+        assert_eq!(resubmitted, 1);
+    }
+
+    #[test]
+    fn quarantine_matches_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |&i: &u64| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let (out, resubmitted) = pool.map_quarantine(&items, usize::MAX, f);
+            assert_eq!(out, serial, "threads={threads}");
+            assert_eq!(resubmitted, 0);
+        }
+    }
+
+    #[test]
+    fn quarantine_propagates_persistent_faults() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..20).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_quarantine(&items, usize::MAX, |&i| {
+                if i == 11 {
+                    panic!("hard fault");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err(), "a second-attempt panic must still propagate");
+        assert_eq!(pool.map(&items, |&i| i)[19], 19);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Typed harness errors.
+//!
+//! Figure entry points and the `repro` driver return [`HarnessError`]
+//! instead of panicking: a missing workload, a run that did not produce a
+//! required trace, a results-directory write failure or a malformed
+//! `--faults` spec all name the offending app/policy/path so the failure
+//! is actionable from the exit message alone.
+
+use gpu_sim::kernel::App;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use workloads::Scale;
+
+/// Everything that can go wrong assembling or archiving an experiment.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A workload name is not in the Table II registry at this scale.
+    UnknownApp {
+        /// The requested workload name.
+        app: String,
+        /// The scale it was requested at.
+        scale: Scale,
+    },
+    /// A run that should have recorded a trace came back without one.
+    MissingTrace {
+        /// The application that ran.
+        app: String,
+        /// The policy it ran under.
+        policy: String,
+    },
+    /// A filesystem failure while archiving results.
+    Io {
+        /// The path being written.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A malformed `--faults` specification.
+    FaultSpec(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::UnknownApp { app, scale } => {
+                write!(f, "workload `{app}` is not registered at scale {scale:?}")
+            }
+            HarnessError::MissingTrace { app, policy } => {
+                write!(f, "run of `{app}` under {policy} recorded no sensitivity trace")
+            }
+            HarnessError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+            HarnessError::FaultSpec(msg) => write!(f, "bad --faults spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<faults::FaultSpecError> for HarnessError {
+    fn from(e: faults::FaultSpecError) -> Self {
+        HarnessError::FaultSpec(e.0)
+    }
+}
+
+/// Looks up a registered workload, converting the miss into a typed error.
+///
+/// # Errors
+///
+/// [`HarnessError::UnknownApp`] when `name` is not in the registry.
+pub fn app(name: &str, scale: Scale) -> Result<App, HarnessError> {
+    workloads::by_name(name, scale)
+        .ok_or_else(|| HarnessError::UnknownApp { app: name.to_string(), scale })
+}
+
+/// Wraps an [`io::Error`] with the path it occurred on.
+pub fn io_at(path: &std::path::Path, source: io::Error) -> HarnessError {
+    HarnessError::Io { path: path.to_path_buf(), source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_app_names_the_workload() {
+        let e = app("nonesuch", Scale::Quick).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("nonesuch"), "{msg}");
+        assert!(msg.contains("Quick"), "{msg}");
+    }
+
+    #[test]
+    fn io_error_carries_path_and_source() {
+        let e = io_at(
+            std::path::Path::new("/no/such/dir/x.csv"),
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("/no/such/dir/x.csv"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn fault_spec_error_converts() {
+        let e: HarnessError = faults::FaultConfig::parse("rate=banana").unwrap_err().into();
+        assert!(matches!(e, HarnessError::FaultSpec(_)));
+        assert!(e.to_string().contains("--faults"));
+    }
+}

@@ -6,9 +6,10 @@
 //! quick workloads so `cargo bench` stays tractable; `PCSTALL_FULL=1`
 //! switches to the paper's 64-CU platform at standard scale.
 
-use crate::report::{f3, markdown_table, pct};
-use crate::runner::{run_with_sensitivity_trace, RunConfig};
-use crate::studies::{linearity_study, probe_series, PcScope};
+use crate::error::{self, HarnessError};
+use crate::report::{f3, markdown_table, pct, write_atomic};
+use crate::runner::{run_with_sensitivity_trace, FaultSetup, RunConfig};
+use crate::studies::{linearity_study, probe_series, resilience_sweep, PcScope};
 use crate::sweeps::{default_threads, global_baseline_cache, run_grid, SuiteCell};
 use dvfs::epoch::EpochConfig;
 use dvfs::objective::Objective;
@@ -20,7 +21,27 @@ use pcstall::estimators::CuEstimator;
 use pcstall::policy::{PcStallConfig, PolicyKind};
 use power::energy::geomean;
 use power::storage;
+use std::sync::OnceLock;
 use workloads::{suite, table2, Scale};
+
+/// The shorthand every figure entry point returns.
+pub type FigureResult = Result<FigureOutput, HarnessError>;
+
+static FAULT_OVERRIDE: OnceLock<FaultSetup> = OnceLock::new();
+
+/// Installs a process-wide fault setup that every subsequent figure run
+/// inherits (the `repro --faults` flag). Returns `false` if an override is
+/// already installed — like the worker pool, the override is set once,
+/// before any experiment runs. The resilience figure ignores the override's
+/// rates (it sweeps its own) but adopts its seed.
+pub fn set_fault_override(setup: FaultSetup) -> bool {
+    FAULT_OVERRIDE.set(setup).is_ok()
+}
+
+/// The installed fault override, if any.
+pub fn fault_override() -> Option<FaultSetup> {
+    FAULT_OVERRIDE.get().copied()
+}
 
 /// Scale preset for the experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +91,10 @@ impl Preset {
         cfg.gpu = self.gpu;
         cfg.power = power::model::PowerConfig::scaled_to(self.gpu.n_cus);
         cfg.epoch = EpochConfig::paper(epoch_us);
+        // `repro --faults` degrades every experiment's GPU; baselines stay
+        // ideal (the cache strips the setup), so normalized figures show
+        // what the faults cost.
+        cfg.faults = fault_override();
         cfg
     }
 
@@ -155,13 +180,13 @@ pub fn epoch_sweep_points(preset: &Preset) -> Vec<u64> {
 /// suite at paper scale; a representative 8-app subset (spanning the
 /// compute/memory spectrum and both categories) at the reduced preset so a
 /// sweep's oracle sampling stays tractable on small machines.
-pub fn sweep_apps(preset: &Preset) -> Vec<App> {
+pub fn sweep_apps(preset: &Preset) -> Result<Vec<App>, HarnessError> {
     if preset.full {
-        preset.apps()
+        Ok(preset.apps())
     } else {
         ["comd", "hpgmg", "xsbench", "hacc", "quickS", "dgemm", "BwdBN", "FwdPool"]
             .iter()
-            .map(|n| workloads::by_name(n, preset.scale).expect("registered"))
+            .map(|n| error::app(n, preset.scale))
             .collect()
     }
 }
@@ -169,7 +194,7 @@ pub fn sweep_apps(preset: &Preset) -> Vec<App> {
 /// Figure 1(a): geomean ED²P improvement over static 1.7 GHz versus DVFS
 /// epoch duration, for CRISP (reactive state of the art), PCSTALL and
 /// ORACLE.
-pub fn fig01a(preset: &Preset) -> FigureOutput {
+pub fn fig01a(preset: &Preset) -> FigureResult {
     let policies = [
         PolicyKind::Reactive(CuEstimator::Crisp),
         PolicyKind::PcStall(PcStallConfig::default()),
@@ -179,7 +204,7 @@ pub fn fig01a(preset: &Preset) -> FigureOutput {
     for epoch_us in epoch_sweep_points(preset) {
         let (_, cells, baselines) = grid_with_baseline_on(
             preset,
-            sweep_apps(preset),
+            sweep_apps(preset)?,
             &policies,
             epoch_us,
             Objective::MinEd2p,
@@ -197,7 +222,7 @@ pub fn fig01a(preset: &Preset) -> FigureOutput {
         }
         rows.push(row);
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 1a".into(),
         title: "Geomean ED²P improvement vs static 1.7 GHz, by DVFS epoch duration".into(),
         headers: vec!["epoch (µs)".into(), "CRISP".into(), "PCSTALL".into(), "ORACLE".into()],
@@ -206,12 +231,12 @@ pub fn fig01a(preset: &Preset) -> FigureOutput {
             "Paper shape: improvement grows as epochs shrink; PCSTALL tracks ORACLE, CRISP lags."
                 .into(),
         ],
-    }
+    })
 }
 
 /// Figure 1(b): mean prediction accuracy versus epoch duration for CRISP,
 /// ACCREAC (perfect-estimate reactive) and PCSTALL.
-pub fn fig01b(preset: &Preset) -> FigureOutput {
+pub fn fig01b(preset: &Preset) -> FigureResult {
     let policies = [
         PolicyKind::Reactive(CuEstimator::Crisp),
         PolicyKind::AccReac,
@@ -221,7 +246,7 @@ pub fn fig01b(preset: &Preset) -> FigureOutput {
     for epoch_us in epoch_sweep_points(preset) {
         let (_, cells, _) = grid_with_baseline_on(
             preset,
-            sweep_apps(preset),
+            sweep_apps(preset)?,
             &policies,
             epoch_us,
             Objective::MinEd2p,
@@ -238,7 +263,7 @@ pub fn fig01b(preset: &Preset) -> FigureOutput {
         }
         rows.push(row);
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 1b".into(),
         title: "Mean prediction accuracy by epoch duration".into(),
         headers: vec!["epoch (µs)".into(), "CRISP".into(), "ACCREAC".into(), "PCSTALL".into()],
@@ -246,13 +271,13 @@ pub fn fig01b(preset: &Preset) -> FigureOutput {
         notes: vec![
             "Paper shape: PCSTALL stays high as epochs shrink; reactive designs degrade.".into()
         ],
-    }
+    })
 }
 
 /// Figure 5: linearity of instructions-vs-frequency for sampled `comd`
 /// epochs (paper reports mean R² ≈ 0.82).
-pub fn fig05(preset: &Preset) -> FigureOutput {
-    let app = workloads::by_name("comd", preset.scale).expect("comd registered");
+pub fn fig05(preset: &Preset) -> FigureResult {
+    let app = error::app("comd", preset.scale)?;
     let samples = if preset.full { 12 } else { 5 };
     let r = linearity_study(&app, &preset.gpu, Femtos::from_micros(1), samples, 3);
     let mut rows = Vec::new();
@@ -263,7 +288,7 @@ pub fn fig05(preset: &Preset) -> FigureOutput {
     }
     let mut headers = vec!["sample".to_string()];
     headers.extend(FreqStates::paper().iter().map(|f| format!("{} MHz", f.mhz())));
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 5".into(),
         title: "Instructions committed per 1 µs epoch at each frequency (comd, one CU)".into(),
         headers,
@@ -272,23 +297,26 @@ pub fn fig05(preset: &Preset) -> FigureOutput {
             "Mean linear-fit R² = {:.3} (paper: 0.82 average across workloads).",
             r.mean_r2
         )],
-    }
+    })
 }
 
 /// Figure 6: sensitivity-vs-time profiles of dgemm, hacc, BwdBN, xsbench,
 /// recorded in the policy loop by the session's sensitivity-trace observer
 /// (forced fork–pre-execute sampling at the static 1.7 GHz baseline).
-pub fn fig06(preset: &Preset) -> FigureOutput {
+pub fn fig06(preset: &Preset) -> FigureResult {
     let names = ["dgemm", "hacc", "BwdBN", "xsbench"];
     let epochs = if preset.full { 60 } else { 25 };
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     for name in names {
-        let app = workloads::by_name(name, preset.scale).expect("registered");
+        let app = error::app(name, preset.scale)?;
         let mut cfg = preset.base_cfg(PolicyKind::Static(1700), 1);
         cfg.max_epochs = epochs;
         let r = run_with_sensitivity_trace(&app, &cfg);
-        let series = r.sensitivity_trace.expect("tracing run records a trace");
+        let series = r.sensitivity_trace.ok_or_else(|| HarnessError::MissingTrace {
+            app: name.to_string(),
+            policy: cfg.policy.name(),
+        })?;
         let trace = series.domain_trace(0);
         let mean = trace.iter().sum::<f64>() / trace.len().max(1) as f64;
         let min = trace.iter().copied().fold(f64::INFINITY, f64::min);
@@ -307,7 +335,7 @@ pub fn fig06(preset: &Preset) -> FigureOutput {
             sparkline.join(", ")
         ));
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 6".into(),
         title: "Per-epoch (1 µs) CU sensitivity profiles".into(),
         headers: vec![
@@ -320,12 +348,12 @@ pub fn fig06(preset: &Preset) -> FigureOutput {
         ],
         rows,
         notes,
-    }
+    })
 }
 
 /// Figure 7(a): average relative sensitivity change across consecutive 1 µs
 /// epochs, per workload; (b): the suite average versus epoch duration.
-pub fn fig07(preset: &Preset) -> FigureOutput {
+pub fn fig07(preset: &Preset) -> FigureResult {
     let epochs = if preset.full { 50 } else { 20 };
     let mut rows = Vec::new();
     let mut one_us = Vec::new();
@@ -361,18 +389,18 @@ pub fn fig07(preset: &Preset) -> FigureOutput {
         "Fig 7b (variability vs epoch duration, suite average): {} (paper: 12% at 100µs rising to 37% at 1µs).",
         trend_s.join(", ")
     ));
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 7".into(),
         title: "Epoch-to-epoch sensitivity variability".into(),
         headers: vec!["app".into(), "avg relative change (1 µs)".into()],
         rows,
         notes,
-    }
+    })
 }
 
 /// Figure 8: per-wavefront contributions to one CU's sensitivity (BwdBN).
-pub fn fig08(preset: &Preset) -> FigureOutput {
-    let app = workloads::by_name("BwdBN", preset.scale).expect("registered");
+pub fn fig08(preset: &Preset) -> FigureResult {
+    let app = error::app("BwdBN", preset.scale)?;
     let epochs = if preset.full { 30 } else { 15 };
     let series = probe_series(&app, &preset.gpu, Femtos::from_micros(1), epochs);
     let traces = series.wavefront_traces(0);
@@ -389,7 +417,7 @@ pub fn fig08(preset: &Preset) -> FigureOutput {
             pct(if total.abs() > 1e-9 { top / total } else { 0.0 }),
         ]);
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 8".into(),
         title: "Wavefront-level contributions to CU sensitivity (BwdBN, CU 0)".into(),
         headers: vec![
@@ -401,12 +429,12 @@ pub fn fig08(preset: &Preset) -> FigureOutput {
         ],
         rows,
         notes: vec!["Contributions shift epoch to epoch — the CU total is not explained by any static wavefront subset.".into()],
-    }
+    })
 }
 
 /// Figure 10: average relative sensitivity change across consecutive
 /// *same-PC* iterations, by table-sharing granularity.
-pub fn fig10(preset: &Preset) -> FigureOutput {
+pub fn fig10(preset: &Preset) -> FigureResult {
     let epochs = if preset.full { 50 } else { 20 };
     let mut sums = [0.0f64; 3];
     let mut epoch_sum = 0.0;
@@ -433,7 +461,7 @@ pub fn fig10(preset: &Preset) -> FigureOutput {
         pct(sums[2] / n),
         pct(epoch_sum / n),
     ]);
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 10".into(),
         title: "Same-PC iteration stability vs consecutive-epoch variability".into(),
         headers: vec![
@@ -447,15 +475,15 @@ pub fn fig10(preset: &Preset) -> FigureOutput {
         notes: vec![
             "Paper: same-PC iterations change only ~10% on average vs ~37% for consecutive epochs — the basis for PC-indexed prediction.".into(),
         ],
-    }
+    })
 }
 
 /// Figure 11(a): same-slot sensitivity change by age rank (quickS);
 /// (b): same-PC change versus PC-index offset bits (suite average,
 /// CU scope).
-pub fn fig11(preset: &Preset) -> FigureOutput {
+pub fn fig11(preset: &Preset) -> FigureResult {
     let epochs = if preset.full { 50 } else { 20 };
-    let app = workloads::by_name("quickS", preset.scale).expect("registered");
+    let app = error::app("quickS", preset.scale)?;
     let series = probe_series(&app, &preset.gpu, Femtos::from_micros(1), epochs);
     let max_rank = if preset.full { 12 } else { 8 };
     let by_rank = series.change_by_age_rank(max_rank);
@@ -469,7 +497,7 @@ pub fn fig11(preset: &Preset) -> FigureOutput {
     for offset in 0..=8u32 {
         let mut total = 0.0;
         for name in offset_apps {
-            let app = workloads::by_name(name, preset.scale).expect("registered");
+            let app = error::app(name, preset.scale)?;
             let s = probe_series(&app, &preset.gpu, Femtos::from_micros(1), epochs / 2);
             total += s.same_pc_iteration_change(PcScope::Cu, offset);
         }
@@ -480,17 +508,17 @@ pub fn fig11(preset: &Preset) -> FigureOutput {
         line.join(", ")
     ));
     rows.push(vec!["—".into(), "—".into()]);
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 11".into(),
         title: "Inter-wavefront contention (quickS) and PC-offset tuning".into(),
         headers: vec!["wavefront slot (age rank)".into(), "avg sensitivity change".into()],
         rows,
         notes,
-    }
+    })
 }
 
 /// Figure 14 (and Table III): prediction accuracy of every design at 1 µs.
-pub fn fig14(preset: &Preset) -> FigureOutput {
+pub fn fig14(preset: &Preset) -> FigureResult {
     let policies = PolicyKind::table3();
     let (apps, cells, _) = grid_with_baseline(preset, &policies, 1, Objective::MinEd2p);
     let n = policies.len();
@@ -516,7 +544,7 @@ pub fn fig14(preset: &Preset) -> FigureOutput {
     rows.push(avg_row);
     let mut headers = vec!["app".to_string()];
     headers.extend(policies.iter().map(|p| p.name()));
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 14".into(),
         title: "Prediction accuracy at 1 µs epochs (all Table III designs)".into(),
         headers,
@@ -524,11 +552,11 @@ pub fn fig14(preset: &Preset) -> FigureOutput {
         notes: vec![
             "Paper: reactive baselines ~60%, ACCREAC 63%, PCSTALL up to 81%, ACCPC ~90%.".into()
         ],
-    }
+    })
 }
 
 /// Figure 15: per-workload ED²P normalized to static 1.7 GHz at 1 µs.
-pub fn fig15(preset: &Preset) -> FigureOutput {
+pub fn fig15(preset: &Preset) -> FigureResult {
     let policies = vec![
         PolicyKind::Static(1300),
         PolicyKind::Static(2200),
@@ -557,7 +585,7 @@ pub fn fig15(preset: &Preset) -> FigureOutput {
     rows.push(geo);
     let mut headers = vec!["app".to_string()];
     headers.extend(policies.iter().map(|p| p.name()));
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 15".into(),
         title: "ED²P normalized to static 1.7 GHz (1 µs epochs; lower is better)".into(),
         headers,
@@ -565,11 +593,11 @@ pub fn fig15(preset: &Preset) -> FigureOutput {
         notes: vec![
             "Paper: ORACLE up to 54% improvement, PCSTALL ~48%, ACCPC ~51%, CRISP ~23%.".into()
         ],
-    }
+    })
 }
 
 /// Figure 16: frequency residency per workload under PCSTALL (ED²P, 1 µs).
-pub fn fig16(preset: &Preset) -> FigureOutput {
+pub fn fig16(preset: &Preset) -> FigureResult {
     let apps = preset.apps();
     let base = preset.base_cfg(PolicyKind::PcStall(PcStallConfig::default()), 1);
     let cells =
@@ -585,7 +613,7 @@ pub fn fig16(preset: &Preset) -> FigureOutput {
     let mut headers = vec!["app".to_string()];
     headers.extend(states.iter().map(|f| format!("{}", f.mhz())));
     headers.push("mean MHz".into());
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 16".into(),
         title: "Time share of each frequency state (PCSTALL, ED²P, 1 µs)".into(),
         headers,
@@ -593,11 +621,11 @@ pub fn fig16(preset: &Preset) -> FigureOutput {
         notes: vec![
             "Paper: compute-bound apps (dgemm, hacc) sit high; memory-bound (hpgmg, xsbench) sit low.".into(),
         ],
-    }
+    })
 }
 
 /// Figure 17: geomean EDP (vs static 1.7 GHz) by epoch duration.
-pub fn fig17(preset: &Preset) -> FigureOutput {
+pub fn fig17(preset: &Preset) -> FigureResult {
     let policies = [
         PolicyKind::Reactive(CuEstimator::Crisp),
         PolicyKind::PcStall(PcStallConfig::default()),
@@ -607,7 +635,7 @@ pub fn fig17(preset: &Preset) -> FigureOutput {
     for epoch_us in epoch_sweep_points(preset) {
         let (_, cells, baselines) = grid_with_baseline_on(
             preset,
-            sweep_apps(preset),
+            sweep_apps(preset)?,
             &policies,
             epoch_us,
             Objective::MinEdp,
@@ -624,21 +652,21 @@ pub fn fig17(preset: &Preset) -> FigureOutput {
         }
         rows.push(row);
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 17".into(),
         title: "Geomean EDP normalized to static 1.7 GHz, by epoch duration".into(),
         headers: vec!["epoch (µs)".into(), "CRISP".into(), "PCSTALL".into(), "ORACLE".into()],
         rows,
         notes: vec!["Paper: same trend as ED²P but with a smaller reactive/predictive gap.".into()],
-    }
+    })
 }
 
 /// Figure 18(a): energy savings under 5% / 10% performance-degradation
 /// limits, versus the full-performance static 2.2 GHz baseline.
-pub fn fig18a(preset: &Preset) -> FigureOutput {
+pub fn fig18a(preset: &Preset) -> FigureResult {
     let policies =
         [PolicyKind::Reactive(CuEstimator::Crisp), PolicyKind::PcStall(PcStallConfig::default())];
-    let apps = sweep_apps(preset);
+    let apps = sweep_apps(preset)?;
     let mut rows = Vec::new();
     for limit in [0.05, 0.10] {
         let mut base = preset.base_cfg(PolicyKind::Static(2200), 1);
@@ -666,7 +694,7 @@ pub fn fig18a(preset: &Preset) -> FigureOutput {
         }
         rows.push(row);
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 18a".into(),
         title: "Average energy savings under performance-degradation limits (vs static 2.2 GHz)"
             .into(),
@@ -676,18 +704,18 @@ pub fn fig18a(preset: &Preset) -> FigureOutput {
             "Paper: PCSTALL 9.6% savings at the 5% limit (CRISP 2.1%); 19.9% at 10% (CRISP 4.7%)."
                 .into(),
         ],
-    }
+    })
 }
 
 /// Figure 18(b): geomean ED²P improvement by V/f-domain granularity.
-pub fn fig18b(preset: &Preset) -> FigureOutput {
+pub fn fig18b(preset: &Preset) -> FigureResult {
     let groups: Vec<usize> = if preset.full { vec![1, 2, 4, 8, 16, 32] } else { vec![1, 4, 16] };
     let policies = [
         PolicyKind::Reactive(CuEstimator::Crisp),
         PolicyKind::PcStall(PcStallConfig::default()),
         PolicyKind::Oracle,
     ];
-    let apps = sweep_apps(preset);
+    let apps = sweep_apps(preset)?;
     let mut rows = Vec::new();
     for group in groups {
         let mut base = preset.base_cfg(PolicyKind::Static(1700), 1);
@@ -706,7 +734,7 @@ pub fn fig18b(preset: &Preset) -> FigureOutput {
         }
         rows.push(row);
     }
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Figure 18b".into(),
         title: "Geomean ED²P improvement by V/f-domain granularity (1 µs)".into(),
         headers: vec![
@@ -719,11 +747,11 @@ pub fn fig18b(preset: &Preset) -> FigureOutput {
         notes: vec![
             "Paper: opportunity shrinks with coarser domains; PCSTALL retains most of ORACLE's benefit even at 32 CUs (18% vs 24%) while CRISP collapses (~4%).".into(),
         ],
-    }
+    })
 }
 
 /// Table I: hardware storage overhead per predictor instance.
-pub fn table1(_preset: &Preset) -> FigureOutput {
+pub fn table1(_preset: &Preset) -> FigureResult {
     let rows = storage::table1()
         .iter()
         .map(|s| {
@@ -732,26 +760,26 @@ pub fn table1(_preset: &Preset) -> FigureOutput {
             vec![s.name.to_string(), parts.join("; "), format!("{}", s.total_bytes())]
         })
         .collect();
-    FigureOutput {
+    Ok(FigureOutput {
         id: "Table I".into(),
         title: "Hardware storage overhead per instance (bytes)".into(),
         headers: vec!["design".into(), "components".into(), "total (B)".into()],
         rows,
         notes: vec!["PCSTALL total matches the paper exactly (328 B); baseline rows are reconstructed (see DESIGN.md).".into()],
-    }
+    })
 }
 
 /// Table II: the workload suite, with measured behavioral profiles
 /// (instruction mix and cache residency over a steady-state window at the
 /// static 1.7 GHz baseline).
-pub fn table2_figure(preset: &Preset) -> FigureOutput {
+pub fn table2_figure(preset: &Preset) -> FigureResult {
     use gpu_sim::gpu::Gpu;
     use gpu_sim::stats::OpMix;
     let window = if preset.full { 30 } else { 15 };
     let rows = table2()
         .iter()
         .map(|&(name, cat, kernels)| {
-            let app = workloads::by_name(name, preset.scale).expect("registered");
+            let app = error::app(name, preset.scale)?;
             let mut gpu = Gpu::new(preset.gpu, app);
             gpu.run_epoch(Femtos::from_micros(4)); // warm-up
             let mut mix = OpMix::default();
@@ -777,7 +805,7 @@ pub fn table2_figure(preset: &Preset) -> FigureOutput {
                     pct(h as f64 / (h + m) as f64)
                 }
             };
-            vec![
+            Ok(vec![
                 name.to_string(),
                 format!("{cat:?}"),
                 format!("{kernels}"),
@@ -785,10 +813,10 @@ pub fn table2_figure(preset: &Preset) -> FigureOutput {
                 pct(mix.memory_fraction()),
                 hit(l1.0, l1.1),
                 hit(l2.0, l2.1),
-            ]
+            ])
         })
-        .collect();
-    FigureOutput {
+        .collect::<Result<Vec<_>, HarnessError>>()?;
+    Ok(FigureOutput {
         id: "Table II".into(),
         title: "Workloads used for evaluation (unique kernels; measured profile)".into(),
         headers: vec![
@@ -802,7 +830,94 @@ pub fn table2_figure(preset: &Preset) -> FigureOutput {
         ],
         rows,
         notes: vec!["Profiles measured over a steady-state window at static 1.7 GHz.".into()],
+    })
+}
+
+/// The resilience study: energy savings and slowdown versus fault rate for
+/// five designs, measured against the fault-free static 1.7 GHz baseline.
+///
+/// Each rate is a [`faults::FaultConfig::profile`] — telemetry dropout,
+/// staleness and noise, dropped/delayed actuations and transient thermal
+/// clamps all scaled together — with the default degradation ladder
+/// attached, so the curves show graceful degradation rather than a cliff.
+/// The raw curves are archived as `results/resilience.json` through the
+/// atomic writer. `PCSTALL_BENCH_SMOKE=1` shrinks the sweep to 2 apps ×
+/// 2 policies × 2 rates for CI.
+pub fn resilience(preset: &Preset) -> FigureResult {
+    let smoke = matches!(std::env::var("PCSTALL_BENCH_SMOKE"), Ok(v) if !v.is_empty() && v != "0");
+    let names: &[&str] = if smoke {
+        &["comd", "xsbench"]
+    } else if preset.full {
+        &["comd", "hpgmg", "xsbench", "hacc", "quickS", "dgemm", "BwdBN", "FwdPool"]
+    } else {
+        &["comd", "xsbench", "dgemm", "hacc"]
+    };
+    let apps =
+        names.iter().map(|n| error::app(n, preset.scale)).collect::<Result<Vec<App>, _>>()?;
+    let policies: Vec<PolicyKind> = if smoke {
+        vec![
+            PolicyKind::Reactive(CuEstimator::Stall),
+            PolicyKind::PcStall(PcStallConfig::default()),
+        ]
+    } else {
+        vec![
+            PolicyKind::Reactive(CuEstimator::Stall),
+            PolicyKind::Reactive(CuEstimator::Crisp),
+            PolicyKind::PcStall(PcStallConfig::default()),
+            PolicyKind::AccPc(PcStallConfig::default()),
+            PolicyKind::Oracle,
+        ]
+    };
+    let rates: &[f64] = if smoke { &[0.0, 0.20] } else { &[0.0, 0.01, 0.05, 0.20] };
+    let seed = fault_override().map_or(42, |s| s.faults.seed);
+    let mut base = preset.base_cfg(PolicyKind::Static(1700), 1);
+    base.objective = Objective::MinEd2p;
+    let curves = resilience_sweep(&apps, &policies, &base, rates, seed, preset.threads);
+
+    let json_path = results_path("resilience.json");
+    write_atomic(&json_path, &curves.to_json()).map_err(|e| error::io_at(&json_path, e))?;
+
+    let mut rows = Vec::new();
+    for (ri, &rate) in curves.rates.iter().enumerate() {
+        let mut row = vec![pct(rate)];
+        for c in &curves.curves {
+            row.push(format!(
+                "{} (loss {}, fb {})",
+                pct(c.savings[ri]),
+                pct(c.slowdown[ri]),
+                c.fallback_epochs[ri]
+            ));
+        }
+        rows.push(row);
     }
+    let mut headers = vec!["fault rate".to_string()];
+    headers.extend(policies.iter().map(|p| p.name()));
+    Ok(FigureOutput {
+        id: "Resilience".into(),
+        title: "Energy savings vs fault rate (vs fault-free static 1.7 GHz)".into(),
+        headers,
+        rows,
+        notes: vec![
+            format!(
+                "Fault profile per rate r: telemetry drop r, stale r/2, noise r (±15%); \
+                 actuation drop/delay r/2; thermal clamps r/10. Seed {seed}; \
+                 degradation ladder hold→STALL→safe-max attached to every design."
+            ),
+            format!("Raw curves archived at {}.", json_path.display()),
+            "Cells read: savings (perf loss, fallback epochs engaged). Savings should \
+             degrade smoothly — not cliff — as the fault rate rises."
+                .into(),
+        ],
+    })
+}
+
+/// Where the harness archives non-tabular artifacts (repo-root `results/`).
+fn results_path(name: &str) -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/harness; results live at the repo root.
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("results").join(name)
 }
 
 #[cfg(test)]
@@ -816,16 +931,16 @@ mod tests {
     #[test]
     fn table_figures_render() {
         let p = tiny_preset();
-        let t1 = table1(&p);
+        let t1 = table1(&p).unwrap();
         assert!(t1.render().contains("PCSTALL"));
         assert!(t1.rows.iter().any(|r| r[2] == "328"));
-        let t2 = table2_figure(&p);
+        let t2 = table2_figure(&p).unwrap();
         assert_eq!(t2.rows.len(), 16);
     }
 
     #[test]
     fn fig05_runs_at_tiny_scale() {
-        let f = fig05(&tiny_preset());
+        let f = fig05(&tiny_preset()).unwrap();
         assert!(!f.rows.is_empty());
         assert!(f.notes[0].contains("R²"));
     }

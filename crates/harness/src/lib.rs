@@ -13,12 +13,15 @@
 //! * [`sweeps`] — parallel (workload × design) grids.
 //! * [`figures`] — one entry point per paper figure/table, scale-controlled
 //!   by `PCSTALL_FULL`.
-//! * [`report`] — markdown/CSV rendering; [`ascii`] — terminal charts.
+//! * [`report`] — markdown/CSV rendering via the crash-safe atomic writer;
+//!   [`ascii`] — terminal charts.
 //! * [`agreement`] — decision-agreement analysis against the oracle.
+//! * [`error`] — typed [`error::HarnessError`]s every figure entry point
+//!   returns instead of panicking.
 //!
 //! ```no_run
 //! use harness::figures::{fig14, Preset};
-//! let out = fig14(&Preset::from_env());
+//! let out = fig14(&Preset::from_env()).expect("figure assembled");
 //! println!("{}", out.render());
 //! ```
 
@@ -27,6 +30,7 @@
 
 pub mod agreement;
 pub mod ascii;
+pub mod error;
 pub mod figures;
 pub mod report;
 pub mod runner;
@@ -34,6 +38,7 @@ pub mod session;
 pub mod studies;
 pub mod sweeps;
 
+pub use error::HarnessError;
 pub use figures::{FigureOutput, Preset};
 pub use runner::{run, run_with_sensitivity_trace, RunConfig, RunResult};
 pub use session::{RunObserver, SensitivityTrace, Session};

@@ -1,9 +1,45 @@
-//! Table rendering helpers for the figure benches and EXPERIMENTS.md.
+//! Table rendering helpers for the figure benches and EXPERIMENTS.md, and
+//! the crash-safe results writer every `results/` artifact goes through.
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file first and are renamed into place only once fully written,
+/// so an interrupted run can never leave a truncated artifact behind —
+/// readers see either the old file or the complete new one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temporary file is removed on failure.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("not a file path: {}", path.display()))
+    })?;
+    // A per-process suffix keeps concurrent writers (e.g. two benches
+    // targeting different figures in one results dir) from colliding on
+    // the temporary name.
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let write_then_rename = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Data must be durable before the rename publishes the name.
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if write_then_rename.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    write_then_rename
+}
 
 /// Renders a GitHub-flavored markdown table.
 ///
@@ -27,16 +63,13 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Writes rows as CSV (simple quoting: fields containing commas or quotes
-/// are quoted with doubled quotes).
+/// are quoted with doubled quotes) through [`write_atomic`].
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Propagates row-rendering and filesystem errors — a failed row write
+/// fails the call instead of silently producing a partial file.
 pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir)?;
-    }
-    let mut out = String::new();
     let quote = |s: &str| {
         if s.contains(',') || s.contains('"') || s.contains('\n') {
             format!("\"{}\"", s.replace('"', "\"\""))
@@ -44,11 +77,15 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Res
             s.to_string()
         }
     };
-    let _ = writeln!(out, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    let render_err = io::Error::other;
+    let mut out = String::new();
+    writeln!(out, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))
+        .map_err(render_err)?;
     for row in rows {
-        let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))
+            .map_err(render_err)?;
     }
-    fs::write(path, out)
+    write_atomic(path, &out)
 }
 
 /// Formats a float with 3 significant decimals.
@@ -92,6 +129,29 @@ mod tests {
         assert!(content.contains("\"a,b\""));
         assert!(content.contains("\"c\"\"d\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = std::env::temp_dir().join("pcstall_atomic_test");
+        let path = dir.join("out.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // No temporary droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_directory_target() {
+        assert!(write_atomic(Path::new("/"), "x").is_err());
     }
 
     #[test]

@@ -41,6 +41,36 @@ pub struct RunConfig {
     /// Optional chip-level power cap (paper Section 5.4): a higher-level
     /// manager narrows/widens the V/f range at coarse intervals.
     pub power_cap: Option<dvfs::hierarchy::PowerCapConfig>,
+    /// Optional fault injection + degradation setup (DESIGN.md §8).
+    /// `None` — the ideal GPU — leaves every output bit-identical to a
+    /// build without the fault subsystem.
+    pub faults: Option<FaultSetup>,
+}
+
+/// Fault injection paired with its degradation response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSetup {
+    /// Fault rates, magnitudes and the seed.
+    pub faults: faults::FaultConfig,
+    /// Fallback-ladder depths; `None` runs the policy raw (no wrapper), to
+    /// measure how an unprotected design degrades.
+    pub fallback: Option<pcstall::resilience::FallbackConfig>,
+}
+
+impl FaultSetup {
+    /// The standard setup: `cfg`'s faults answered by the default ladder.
+    pub fn with_default_ladder(cfg: faults::FaultConfig) -> Self {
+        FaultSetup { faults: cfg, fallback: Some(pcstall::resilience::FallbackConfig::default()) }
+    }
+}
+
+/// What the fault subsystem observed over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Injected-event counters.
+    pub counts: faults::FaultCounts,
+    /// Ladder-rung occupancy, when a fallback ladder was attached.
+    pub ladder: Option<pcstall::resilience::FallbackCounts>,
 }
 
 impl RunConfig {
@@ -57,6 +87,7 @@ impl RunConfig {
             policy,
             max_epochs: 5_000,
             power_cap: None,
+            faults: None,
         }
     }
 
@@ -96,6 +127,9 @@ pub struct RunResult {
     /// the run attached a [`SensitivityTraceObserver`] (see
     /// [`run_with_sensitivity_trace`]).
     pub sensitivity_trace: Option<SensitivityTrace>,
+    /// Fault-injection counters and ladder occupancy; `None` for runs on
+    /// the ideal GPU ([`RunConfig::faults`] unset).
+    pub fault_report: Option<FaultReport>,
 }
 
 impl RunResult {

@@ -23,18 +23,20 @@
 //! 7. observers may narrow the allowed state range for the next epoch via
 //!    [`RunObserver::allowed`].
 
-use crate::runner::{RunConfig, RunResult};
+use crate::runner::{FaultReport, RunConfig, RunResult};
 use dvfs::domain::DomainMap;
 use dvfs::hierarchy::{PowerCapConfig, PowerCapManager};
 use dvfs::states::FreqStates;
 use exec::WorkerPool;
+use faults::{ActuationEvent, FaultInjector, TelemetryEvent};
 use gpu_sim::gpu::Gpu;
 use gpu_sim::kernel::App;
 use gpu_sim::stats::EpochStats;
-use gpu_sim::time::Frequency;
+use gpu_sim::time::{Femtos, Frequency};
 use pcstall::accuracy::AccuracyMeter;
 use pcstall::oracle::{self, OracleSamples};
-use pcstall::policy::{DecideCtx, Decision, DvfsPolicy};
+use pcstall::policy::{DecideCtx, Decision, DvfsPolicy, Telemetry};
+use pcstall::resilience::ResilientPolicy;
 use power::energy::EnergyAccount;
 use power::model::PowerModel;
 use serde::{Deserialize, Serialize};
@@ -101,6 +103,93 @@ pub trait RunObserver {
     fn finish(&mut self, _result: &mut RunResult) {}
 }
 
+/// Which telemetry source the current epoch's decide call consumes —
+/// resolved in a first (mutating) pass over the fault state so the
+/// [`Telemetry`] borrows can be taken immutably afterwards.
+#[derive(Clone, Copy)]
+enum TelemetrySrc {
+    /// No epoch has elapsed yet.
+    Warmup,
+    /// Fresh counters straight from the simulator.
+    Prev,
+    /// Fresh counters, perturbed into the noise scratch buffer.
+    Scratch,
+    /// The stale replay register, `age` epochs old.
+    Held(usize),
+    /// Nothing delivered for `age` consecutive epochs.
+    Lost(usize),
+}
+
+/// Per-session fault-injection state (present iff [`RunConfig::faults`] is
+/// set): the injector plus the buffers that model a faulty counter path —
+/// a replay register for stale deliveries and a scratch copy for noise, so
+/// the *policy* sees perturbed counters while every observer keeps metering
+/// ground truth.
+#[derive(Debug)]
+struct FaultState {
+    injector: FaultInjector,
+    /// The last delivered snapshot (what a stale epoch re-delivers).
+    held: EpochStats,
+    has_held: bool,
+    /// Epochs since `held` was captured.
+    held_age: usize,
+    /// Scratch buffer noise perturbs (never the real telemetry).
+    scratch: EpochStats,
+    /// Consecutive lost epochs.
+    lost_age: usize,
+}
+
+impl FaultState {
+    fn new(cfg: faults::FaultConfig) -> Self {
+        FaultState {
+            injector: FaultInjector::new(cfg),
+            held: EpochStats::empty(),
+            has_held: false,
+            held_age: 0,
+            scratch: EpochStats::empty(),
+            lost_age: 0,
+        }
+    }
+
+    /// Resolves the epoch's telemetry source, advancing the injector and
+    /// the replay/noise buffers. `prev` is the elapsed epoch's ground-truth
+    /// telemetry.
+    fn select(&mut self, epoch: u64, prev: &EpochStats) -> TelemetrySrc {
+        self.held_age += 1;
+        match self.injector.telemetry_event(epoch) {
+            TelemetryEvent::Lost => {
+                self.lost_age += 1;
+                TelemetrySrc::Lost(self.lost_age)
+            }
+            TelemetryEvent::Stale if self.has_held => {
+                self.lost_age = 0;
+                TelemetrySrc::Held(self.held_age)
+            }
+            TelemetryEvent::Stale => {
+                // Nothing delivered yet to replay: a stale event this early
+                // is indistinguishable from loss.
+                self.lost_age += 1;
+                TelemetrySrc::Lost(self.lost_age)
+            }
+            TelemetryEvent::Deliver => {
+                self.lost_age = 0;
+                self.scratch.clone_from(prev);
+                let noised = self.injector.apply_noise(epoch, &mut self.scratch);
+                // The delivered (possibly noised) snapshot becomes what a
+                // later stale epoch replays.
+                self.held.clone_from(&self.scratch);
+                self.has_held = true;
+                self.held_age = 0;
+                if noised {
+                    TelemetrySrc::Scratch
+                } else {
+                    TelemetrySrc::Prev
+                }
+            }
+        }
+    }
+}
+
 /// One policy-in-the-loop run in progress: owns the GPU, the domain map,
 /// the policy and the reusable telemetry buffers, and advances one epoch
 /// per [`Session::step`].
@@ -127,6 +216,8 @@ pub struct Session {
     prev_stats: EpochStats,
     has_prev: bool,
     decisions: Vec<Decision>,
+    /// Fault injection state, present iff the config asked for it.
+    faults: Option<FaultState>,
 }
 
 impl fmt::Debug for Session {
@@ -148,7 +239,12 @@ impl Session {
         SIM_RUNS.fetch_add(1, Ordering::Relaxed);
         let gpu = Gpu::new(cfg.gpu, app.clone());
         let domains = DomainMap::grouped(cfg.gpu.n_cus, cfg.group);
-        let policy = cfg.policy.build();
+        let mut policy = cfg.policy.build();
+        if let Some(setup) = &cfg.faults {
+            if let Some(fallback) = setup.fallback {
+                policy = Box::new(ResilientPolicy::new(policy, fallback));
+            }
+        }
         let power = PowerModel::new(cfg.power);
         let init = Frequency::from_mhz(cfg.gpu.initial_freq_mhz);
         Session {
@@ -162,6 +258,7 @@ impl Session {
             prev_stats: EpochStats::empty(),
             has_prev: false,
             decisions: Vec::new(),
+            faults: cfg.faults.map(|s| FaultState::new(s.faults)),
             cfg: cfg.clone(),
             gpu,
             domains,
@@ -225,23 +322,55 @@ impl Session {
         if self.is_finished() {
             return false;
         }
+        let epoch = self.epochs as u64;
+        // A transient thermal clamp shrinks the legal state set for this
+        // epoch only — `self.allowed` (the power-cap manager's range) is
+        // never mutated, so the clamp lifts by itself when the event ends.
+        let clamped: Option<FreqStates> = match &mut self.faults {
+            Some(fs) => {
+                fs.injector.clamp_tick(epoch, self.allowed.len()).map(|k| self.allowed.prefix(k))
+            }
+            None => None,
+        };
+        let allowed = clamped.as_ref().unwrap_or(&self.allowed);
         let samples = if self.sample_always || self.cfg.policy.needs_oracle() {
             Some(oracle::sample_with(
                 &self.pool,
                 &self.gpu,
                 self.cfg.epoch.duration,
-                &self.allowed,
+                allowed,
                 &self.domains,
             ))
         } else {
             None
         };
+        // Telemetry faults sit between the simulator and the policy: the
+        // decide call may see dropped, stale or noised counters, but every
+        // observer (energy, accuracy, residency) meters ground truth.
+        let src = match (&mut self.faults, self.has_prev) {
+            (_, false) => TelemetrySrc::Warmup,
+            (None, true) => TelemetrySrc::Prev,
+            (Some(fs), true) => fs.select(epoch, &self.prev_stats),
+        };
         self.decisions = {
+            let telemetry = match src {
+                TelemetrySrc::Warmup => Telemetry::Warmup,
+                TelemetrySrc::Prev => Telemetry::Fresh(&self.prev_stats),
+                TelemetrySrc::Scratch => {
+                    let fs = self.faults.as_ref().expect("scratch source implies fault state");
+                    Telemetry::Fresh(&fs.scratch)
+                }
+                TelemetrySrc::Held(age) => {
+                    let fs = self.faults.as_ref().expect("held source implies fault state");
+                    Telemetry::Stale { stats: &fs.held, age }
+                }
+                TelemetrySrc::Lost(age) => Telemetry::Lost { age },
+            };
             let ctx = DecideCtx {
-                stats: if self.has_prev { Some(&self.prev_stats) } else { None },
+                telemetry,
                 gpu: &self.gpu,
                 domains: &self.domains,
-                states: &self.allowed,
+                states: allowed,
                 epoch: self.cfg.epoch,
                 power: &self.power,
                 objective: self.cfg.objective,
@@ -255,7 +384,7 @@ impl Session {
                 epoch_index: self.epochs,
                 cfg: &self.cfg,
                 domains: &self.domains,
-                allowed: &self.allowed,
+                allowed,
                 current: &self.current,
                 decisions: &self.decisions,
                 samples: samples.as_ref(),
@@ -268,7 +397,26 @@ impl Session {
         }
         for d in 0..self.decisions.len() {
             let freq = self.decisions[d].freq;
-            self.gpu.set_frequency_of(self.domains.cus(d), freq, self.cfg.epoch.transition);
+            let event = match &mut self.faults {
+                Some(fs) => fs.injector.actuation_event(epoch, d as u64),
+                None => ActuationEvent::Apply,
+            };
+            if matches!(event, ActuationEvent::Dropped) {
+                // The command is silently lost: the domain keeps its old
+                // state. `current` still records the commanded frequency —
+                // the controller's command register, which is all the
+                // policy can see on real hardware.
+                self.current[d] = freq;
+                continue;
+            }
+            let mut transition = self.cfg.epoch.transition;
+            if let Some(fs) = &self.faults {
+                transition += Femtos::from_nanos(fs.injector.config().relock_ns);
+                if matches!(event, ActuationEvent::Delayed) {
+                    transition += Femtos::from_nanos(fs.injector.config().extra_settle_ns);
+                }
+            }
+            self.gpu.set_frequency_of(self.domains.cus(d), freq, transition);
             self.current[d] = freq;
         }
         self.gpu.run_epoch_into(self.cfg.epoch.duration, &mut self.stats_buf);
@@ -277,7 +425,7 @@ impl Session {
                 epoch_index: self.epochs,
                 cfg: &self.cfg,
                 domains: &self.domains,
-                allowed: &self.allowed,
+                allowed,
                 current: &self.current,
                 decisions: &self.decisions,
                 samples: samples.as_ref(),
@@ -317,6 +465,10 @@ impl Session {
             freq_residency: Vec::new(),
             completed: self.gpu.is_done(),
             sensitivity_trace: None,
+            fault_report: self.faults.as_ref().map(|fs| FaultReport {
+                counts: fs.injector.counts(),
+                ladder: self.policy.fault_ladder(),
+            }),
         }
     }
 }

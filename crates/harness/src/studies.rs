@@ -113,6 +113,7 @@ pub fn probe_series(
         policy: PolicyKind::Static(gpu_cfg.initial_freq_mhz),
         max_epochs,
         power_cap: None,
+        faults: None,
     };
     let mut session = Session::new(app, &cfg);
     let mut probe = ProbeObserver::new(epoch);
@@ -445,6 +446,146 @@ pub fn linearity_study(
     let r2s: Vec<f64> = curves.iter().map(|c| fit_line(c).1).collect();
     let mean_r2 = if r2s.is_empty() { 0.0 } else { r2s.iter().sum::<f64>() / r2s.len() as f64 };
     LinearityResult { curves, mean_r2 }
+}
+
+/// One design's graceful-degradation curve across fault rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCurve {
+    /// Design name (e.g. "PCSTALL").
+    pub policy: String,
+    /// Mean energy savings vs the fault-free static 1.7 GHz baseline, one
+    /// entry per swept fault rate.
+    pub savings: Vec<f64>,
+    /// Mean performance loss vs the same baseline, per rate.
+    pub slowdown: Vec<f64>,
+    /// Fallback-ladder engagements (hold + stall + safe-max epochs) summed
+    /// over the swept apps, per rate.
+    pub fallback_epochs: Vec<u64>,
+    /// Total faults injected (telemetry + actuation + clamps) summed over
+    /// the swept apps, per rate.
+    pub faults_injected: Vec<u64>,
+}
+
+/// The resilience sweep's result: per-policy degradation curves over a
+/// shared fault-rate axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCurves {
+    /// The swept fault rates (the [`faults::FaultConfig::profile`] knob).
+    pub rates: Vec<f64>,
+    /// The apps averaged over.
+    pub apps: Vec<String>,
+    /// The fault seed all numerator runs share.
+    pub seed: u64,
+    /// One curve per design.
+    pub curves: Vec<ResilienceCurve>,
+}
+
+impl ResilienceCurves {
+    /// Renders the curves as a JSON document (hand-rolled; the vendored
+    /// serde is a marker-trait stand-in without a serializer).
+    pub fn to_json(&self) -> String {
+        fn floats(v: &[f64]) -> String {
+            let parts: Vec<String> = v.iter().map(|x| format!("{x:.6}")).collect();
+            format!("[{}]", parts.join(","))
+        }
+        fn ints(v: &[u64]) -> String {
+            let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", parts.join(","))
+        }
+        fn strings(v: &[String]) -> String {
+            let parts: Vec<String> =
+                v.iter().map(|s| format!("\"{}\"", s.replace('"', "\\\""))).collect();
+            format!("[{}]", parts.join(","))
+        }
+        let curves: Vec<String> = self
+            .curves
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"policy\":\"{}\",\"savings\":{},\"slowdown\":{},\
+                     \"fallback_epochs\":{},\"faults_injected\":{}}}",
+                    c.policy,
+                    floats(&c.savings),
+                    floats(&c.slowdown),
+                    ints(&c.fallback_epochs),
+                    ints(&c.faults_injected),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"rates\": {},\n  \"apps\": {},\n  \"seed\": {},\n  \"curves\": [\n    {}\n  ]\n}}\n",
+            floats(&self.rates),
+            strings(&self.apps),
+            self.seed,
+            curves.join(",\n    ")
+        )
+    }
+}
+
+/// Sweeps `policies` over `apps` at each fault rate, measuring energy and
+/// performance against the *fault-free* static 1.7 GHz baseline.
+///
+/// Each rate builds a [`faults::FaultConfig::profile`] at the shared
+/// `seed` and attaches the default degradation ladder
+/// ([`crate::runner::FaultSetup::with_default_ladder`]); rate 0 is the
+/// noop profile, so the first point of every curve is the ideal-GPU
+/// result. Baselines always run on the ideal GPU (the cache forces
+/// `faults: None`), so a curve's droop isolates what the faults cost.
+pub fn resilience_sweep(
+    apps: &[App],
+    policies: &[PolicyKind],
+    base: &RunConfig,
+    rates: &[f64],
+    seed: u64,
+    threads: usize,
+) -> ResilienceCurves {
+    use crate::runner::FaultSetup;
+    use crate::sweeps::{global_baseline_cache, run_grid};
+
+    let mut curves: Vec<ResilienceCurve> = policies
+        .iter()
+        .map(|p| ResilienceCurve {
+            policy: p.name(),
+            savings: Vec::new(),
+            slowdown: Vec::new(),
+            fallback_epochs: Vec::new(),
+            faults_injected: Vec::new(),
+        })
+        .collect();
+    for &rate in rates {
+        let mut cfg = base.clone();
+        cfg.faults =
+            Some(FaultSetup::with_default_ladder(faults::FaultConfig::profile(rate, seed)));
+        let cells = run_grid(apps, policies, &cfg, threads);
+        let baselines = global_baseline_cache().baselines(apps, &cfg, 1700, threads);
+        let n = policies.len();
+        for (pi, curve) in curves.iter_mut().enumerate() {
+            let mut savings = 0.0;
+            let mut loss = 0.0;
+            let mut engaged = 0u64;
+            let mut injected = 0u64;
+            for (app_cells, b) in cells.chunks(n).zip(&baselines) {
+                let m = &app_cells[pi].result.metrics;
+                savings += 1.0 - m.energy_vs(&b.result.metrics);
+                loss += m.perf_loss_vs(&b.result.metrics);
+                if let Some(report) = &app_cells[pi].result.fault_report {
+                    injected += report.counts.total();
+                    engaged += report.ladder.map_or(0, |l| l.engaged());
+                }
+            }
+            let n_apps = apps.len().max(1) as f64;
+            curve.savings.push(savings / n_apps);
+            curve.slowdown.push(loss / n_apps);
+            curve.fallback_epochs.push(engaged);
+            curve.faults_injected.push(injected);
+        }
+    }
+    ResilienceCurves {
+        rates: rates.to_vec(),
+        apps: apps.iter().map(|a| a.name.clone()).collect(),
+        seed,
+        curves,
+    }
 }
 
 #[cfg(test)]

@@ -36,9 +36,33 @@ pub fn run_grid(
     base: &RunConfig,
     threads: usize,
 ) -> Vec<SuiteCell> {
-    let jobs: Vec<(&App, PolicyKind)> =
-        apps.iter().flat_map(|app| policies.iter().map(move |&p| (app, p))).collect();
-    global_pool().map_capped(&jobs, threads, |&(app, policy)| {
+    run_grid_chaos(apps, policies, base, threads, None).0
+}
+
+/// [`run_grid`] with an optional panicking-lane hook: when `plan` is set,
+/// each grid cell fires [`faults::PanicPlan::fire`] with its cell index
+/// before running, and the pool's quarantine-and-resubmit path
+/// ([`exec::WorkerPool::map_quarantine`]) recovers the lost cells. Returns
+/// the (order-preserved) cells plus how many were resubmitted. With a
+/// deterministic simulator the cells are bit-identical to a panic-free
+/// [`run_grid`] regardless of which lanes die.
+pub fn run_grid_chaos(
+    apps: &[App],
+    policies: &[PolicyKind],
+    base: &RunConfig,
+    threads: usize,
+    plan: Option<&faults::PanicPlan>,
+) -> (Vec<SuiteCell>, usize) {
+    let jobs: Vec<(usize, &App, PolicyKind)> = apps
+        .iter()
+        .flat_map(|app| policies.iter().map(move |&p| (app, p)))
+        .enumerate()
+        .map(|(i, (app, p))| (i, app, p))
+        .collect();
+    global_pool().map_quarantine(&jobs, threads, |&(i, app, policy)| {
+        if let Some(plan) = plan {
+            plan.fire(i);
+        }
         let cfg = RunConfig { policy, ..base.clone() };
         let result = run(app, &cfg);
         SuiteCell { app: app.name.clone(), policy: policy.name(), result }
@@ -75,12 +99,18 @@ impl BaselineCache {
         Self::default()
     }
 
+    /// Locks the map ignoring poison: entries are only ever inserted whole,
+    /// so a panicked writer cannot leave a half-updated value behind.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<String, RunResult>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn key(app: &App, cfg: &RunConfig) -> String {
         // The app signature captures name plus workload shape so reduced
         // and full variants of the same benchmark never collide.
         let code: usize = app.kernels.iter().map(|k| k.len()).sum();
         format!(
-            "{}#{}#{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}",
+            "{}#{}#{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
             app.name,
             app.kernels.len(),
             code,
@@ -92,6 +122,7 @@ impl BaselineCache {
             cfg.policy,
             cfg.max_epochs,
             cfg.power_cap,
+            cfg.faults,
         )
     }
 
@@ -113,13 +144,13 @@ impl BaselineCache {
             "baseline cache only holds static-policy runs"
         );
         let key = Self::key(app, cfg);
-        if let Some(hit) = self.inner.lock().expect("cache lock").get(&key).cloned() {
+        if let Some(hit) = self.map().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = run(app, cfg);
-        self.inner.lock().expect("cache lock").entry(key).or_insert_with(|| result.clone());
+        self.map().entry(key).or_insert_with(|| result.clone());
         result
     }
 
@@ -133,7 +164,10 @@ impl BaselineCache {
         static_mhz: u32,
         threads: usize,
     ) -> Vec<SuiteCell> {
-        let cfg = RunConfig { policy: PolicyKind::Static(static_mhz), ..base.clone() };
+        // Baselines are the normalization denominator: they always run on
+        // the ideal GPU, even when the numerator runs are faulted.
+        let cfg =
+            RunConfig { policy: PolicyKind::Static(static_mhz), faults: None, ..base.clone() };
         global_pool().map_capped(apps, threads, |app| {
             let result = self.get_or_run(app, &cfg);
             SuiteCell { app: app.name.clone(), policy: result.policy.clone(), result }
@@ -152,7 +186,7 @@ impl BaselineCache {
 
     /// Number of distinct baselines held.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").len()
+        self.map().len()
     }
 
     /// Whether the cache holds nothing yet.

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro list                           list every figure/table experiment
-//! repro run <id> [--full] [--threads N]   run one experiment
-//! repro all [--full] [--threads N]        run every experiment in sequence
+//! repro run <id> [--full] [--threads N] [--faults SPEC]   run one experiment
+//! repro all [--full] [--threads N] [--faults SPEC]        run every experiment
 //! ```
 //!
 //! `--full` selects the paper's 64-CU platform at standard workload scale
@@ -11,13 +11,29 @@
 //! preset. `--threads N` sizes the process-global worker pool that grid
 //! sweeps and fork–pre-execute oracle sampling run on (equivalent to
 //! `PCSTALL_THREADS=N`; default: physical parallelism capped at 8).
-//! Results are bit-identical at every thread count. Outputs are printed
-//! and archived under `results/`.
+//! Results are bit-identical at every thread count.
+//!
+//! `--faults SPEC` degrades every experiment's GPU with the seeded
+//! fault-injection layer (telemetry dropout/staleness/noise, dropped and
+//! delayed V/f transitions, transient thermal clamps) and attaches the
+//! default degradation ladder. `SPEC` is comma-separated `key=value`
+//! pairs, e.g. `--faults rate=0.05,seed=7` or
+//! `--faults drop=0.1,noise=0.2,clamp=0.01`; see `faults::FaultConfig`.
+//! Normalization baselines always run fault-free, so normalized figures
+//! show what the faults cost. Outputs are printed and archived under
+//! `results/`.
+//!
+//! Exit codes: 0 on success, 1 on usage errors, 2 when an experiment
+//! fails (the typed `HarnessError` is printed to stderr).
 
-use harness::figures::{self, FigureOutput, Preset};
+use harness::figures::{self, FigureResult, Preset};
+use harness::runner::FaultSetup;
 use std::process::ExitCode;
 
-type FigureFn = fn(&Preset) -> FigureOutput;
+type FigureFn = fn(&Preset) -> FigureResult;
+
+/// Exit code for a failed experiment (vs 1 for usage errors).
+const EXIT_EXPERIMENT_FAILED: u8 = 2;
 
 /// Every registered experiment: (id, description, entry point).
 fn registry() -> Vec<(&'static str, &'static str, FigureFn)> {
@@ -38,6 +54,7 @@ fn registry() -> Vec<(&'static str, &'static str, FigureFn)> {
         ("fig18b", "ED²P vs V/f-domain granularity", figures::fig18b),
         ("table1", "hardware storage overhead per design", figures::table1),
         ("table2", "the workload suite", figures::table2_figure),
+        ("resilience", "energy/slowdown vs fault rate (degradation ladder)", figures::resilience),
     ]
 }
 
@@ -67,9 +84,31 @@ fn apply_threads_flag(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies a `--faults SPEC` flag: parses the spec, attaches the default
+/// degradation ladder and installs it as the process-wide fault override.
+fn apply_faults_flag(args: &[String]) -> Result<(), String> {
+    let Some(pos) = args.iter().position(|a| a == "--faults") else {
+        return Ok(());
+    };
+    let spec = args
+        .get(pos + 1)
+        .filter(|s| !s.starts_with("--"))
+        .ok_or("--faults requires a spec, e.g. --faults rate=0.05,seed=7")?;
+    let cfg =
+        faults::FaultConfig::parse(spec).map_err(|e| format!("bad --faults spec: {}", e.0))?;
+    if !figures::set_fault_override(FaultSetup::with_default_ladder(cfg)) {
+        return Err("fault override already installed; pass --faults once".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(msg) = apply_threads_flag(&args) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(msg) = apply_faults_flag(&args) {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
     }
@@ -77,13 +116,13 @@ fn main() -> ExitCode {
         Some("list") => {
             println!("available experiments (run with `repro run <id>`):\n");
             for (id, desc, _) in registry() {
-                println!("  {id:8} {desc}");
+                println!("  {id:10} {desc}");
             }
             ExitCode::SUCCESS
         }
         Some("run") => {
             let Some(id) = args.get(1) else {
-                eprintln!("usage: repro run <id> [--full] [--threads N]");
+                eprintln!("usage: repro run <id> [--full] [--threads N] [--faults SPEC]");
                 return ExitCode::FAILURE;
             };
             let Some((_name, _, f)) = registry().into_iter().find(|(n, _, _)| n == id) else {
@@ -91,7 +130,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let p = preset(&args);
-            println!("{}", f(&p).render());
+            match f(&p) {
+                Ok(out) => println!("{}", out.render()),
+                Err(e) => {
+                    eprintln!("{id} failed: {e}");
+                    return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+                }
+            }
             println!(
                 "(preset: {}; pass --full for the 64-CU paper platform)",
                 if p.full { "full" } else { "reduced" }
@@ -102,7 +147,13 @@ fn main() -> ExitCode {
             let p = preset(&args);
             for (id, _, f) in registry() {
                 eprintln!("== {id} ==");
-                println!("{}", f(&p).render());
+                match f(&p) {
+                    Ok(out) => println!("{}", out.render()),
+                    Err(e) => {
+                        eprintln!("{id} failed: {e}");
+                        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+                    }
+                }
             }
             let cache = harness::sweeps::global_baseline_cache();
             eprintln!(
@@ -115,7 +166,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: repro <list|run <id>|all> [--full] [--threads N]");
+            eprintln!("usage: repro <list|run <id>|all> [--full] [--threads N] [--faults SPEC]");
             ExitCode::FAILURE
         }
     }

@@ -144,7 +144,7 @@ fn pc_table_hit_ratio_reaches_paper_levels() {
     use dvfs::epoch::EpochConfig;
     use dvfs::objective::Objective;
     use gpu_sim::time::Frequency;
-    use pcstall::policy::{DecideCtx, DvfsPolicy, PcStallPolicy};
+    use pcstall::policy::{DecideCtx, DvfsPolicy, PcStallPolicy, Telemetry};
     use power::model::PowerModel;
 
     let app = by_name("comd", Scale::Quick).unwrap();
@@ -159,7 +159,7 @@ fn pc_table_hit_ratio_reaches_paper_levels() {
     for _ in 0..40 {
         let decisions = {
             let ctx = DecideCtx {
-                stats: prev.as_ref(),
+                telemetry: Telemetry::from_prev(prev.as_ref()),
                 gpu: &gpu,
                 domains: &domains,
                 states: &states,

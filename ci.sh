@@ -40,4 +40,16 @@ PCSTALL_THREADS=8 cargo test -q -p harness --test resilience_faults
 echo "==> resilience smoke bench (2 apps x 2 policies x 2 fault rates)"
 PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench resilience
 
+# Checkpoint/restore determinism at the thread-count extremes: restored
+# warmup prefixes and resumed sweeps must be bit-identical to cold runs
+# whether the pool is one inline lane or 8 workers.
+echo "==> snapshot warmup-reuse & sweep resume @ PCSTALL_THREADS=1"
+PCSTALL_THREADS=1 cargo test -q -p harness --test snapshot_resume
+
+echo "==> snapshot warmup-reuse & sweep resume @ PCSTALL_THREADS=8"
+PCSTALL_THREADS=8 cargo test -q -p harness --test snapshot_resume
+
+echo "==> snapshot smoke bench (codec throughput + warmup-reuse grid)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench snapshot
+
 echo "CI OK"

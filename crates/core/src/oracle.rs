@@ -144,6 +144,36 @@ impl ForkArena {
     }
 }
 
+/// Pre-warms every pool lane's fork arena from a snapshot produced by
+/// [`Gpu::save_snapshot`].
+///
+/// The snapshot is validated once on the calling thread; each lane then
+/// decodes its own copy into its thread-local [`ForkArena`], so the first
+/// [`sample_with`] call after a warmup-restore finds a resident fork on
+/// every lane and refreshes it with `Gpu::clone_from` instead of paying the
+/// first-fork deep clone. Returns the number of lanes hydrated.
+///
+/// # Errors
+///
+/// Returns the decode error if `bytes` is not a valid snapshot; no arena is
+/// touched in that case.
+pub fn hydrate_arenas(pool: &WorkerPool, bytes: &[u8]) -> Result<usize, snapshot::SnapError> {
+    // Validate up front so a corrupt snapshot is a clean error instead of
+    // lanes silently skipping hydration.
+    Gpu::load_snapshot(bytes)?;
+    let hydrated = std::sync::atomic::AtomicUsize::new(0);
+    pool.broadcast(|| {
+        if let Ok(gpu) = Gpu::load_snapshot(bytes) {
+            with_arena(ForkArena::new, |arena| match &mut arena.gpu {
+                Some(fork) => fork.clone_from(&gpu),
+                slot @ None => *slot = Some(gpu),
+            });
+            hydrated.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    Ok(hydrated.into_inner())
+}
+
 /// Everything one shuffled sampling state contributes to the stitched
 /// result, extracted inside the per-state job so the raw `EpochStats`
 /// never leaves the lane's arena.
@@ -444,6 +474,33 @@ mod tests {
         assert!(msg.contains("domain 3"), "missing domain: {msg}");
         assert!(msg.contains("1234 MHz"), "missing offending frequency: {msg}");
         assert!(msg.contains("1300"), "missing state set: {msg}");
+    }
+
+    #[test]
+    fn hydrated_arenas_do_not_change_sampling_results() {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        gpu.run_epoch(Femtos::from_micros(2));
+        let states = FreqStates::paper();
+        let domains = DomainMap::per_cu(gpu.n_cus());
+        // Reference: a fresh pool with cold arenas.
+        let cold_pool = WorkerPool::new(4);
+        let cold = sample_with(&cold_pool, &gpu, Femtos::from_micros(1), &states, &domains);
+        // Hydrated: every lane pre-warmed from the snapshot.
+        let warm_pool = WorkerPool::new(4);
+        let lanes = hydrate_arenas(&warm_pool, &gpu.save_snapshot()).unwrap();
+        assert!(lanes >= 1, "at least the submitting lane must hydrate");
+        let warm = sample_with(&warm_pool, &gpu, Femtos::from_micros(1), &states, &domains);
+        assert_eq!(cold, warm, "hydration must be invisible to sampling results");
+    }
+
+    #[test]
+    fn hydrate_rejects_corrupt_snapshot() {
+        let gpu = Gpu::new(GpuConfig::tiny(), mixed_app());
+        let mut bytes = gpu.save_snapshot();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF;
+        let pool = WorkerPool::new(2);
+        assert!(hydrate_arenas(&pool, &bytes).is_err());
     }
 
     #[test]

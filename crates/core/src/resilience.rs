@@ -60,6 +60,26 @@ pub struct FallbackCounts {
     pub safe: u64,
 }
 
+/// Ladder occupancy rides in sweep resume journals next to the fault
+/// counters it explains.
+impl snapshot::Snapshot for FallbackCounts {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let FallbackCounts { normal, hold, stall, safe } = *self;
+        w.put_u64(normal);
+        w.put_u64(hold);
+        w.put_u64(stall);
+        w.put_u64(safe);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(FallbackCounts {
+            normal: r.take_u64()?,
+            hold: r.take_u64()?,
+            stall: r.take_u64()?,
+            safe: r.take_u64()?,
+        })
+    }
+}
+
 impl FallbackCounts {
     /// Epochs on any degraded rung (everything but normal).
     pub fn engaged(&self) -> u64 {

@@ -50,6 +50,26 @@ impl Default for EpochConfig {
     }
 }
 
+/// The epoch clock is part of a restored run's identity: a warmup snapshot
+/// replayed under a different epoch length would silently desynchronize the
+/// DVFS loop, so the duration/transition pair rides in the snapshot and is
+/// validated on restore.
+impl snapshot::Snapshot for EpochConfig {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let EpochConfig { duration, transition } = *self;
+        duration.encode(w);
+        transition.encode(w);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        let duration = Femtos::decode(r)?;
+        let transition = Femtos::decode(r)?;
+        if duration == Femtos::ZERO {
+            return Err(snapshot::SnapError::invalid("epoch duration must be non-zero"));
+        }
+        Ok(EpochConfig { duration, transition })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

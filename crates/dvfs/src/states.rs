@@ -118,6 +118,25 @@ impl Default for FreqStates {
     }
 }
 
+/// Decoding re-applies [`FreqStates::from_states`]'s invariants (non-empty,
+/// strictly ascending) as typed errors.
+impl snapshot::Snapshot for FreqStates {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let FreqStates { states } = self;
+        states.encode(w);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        let states = Vec::<Frequency>::decode(r)?;
+        if states.is_empty() {
+            return Err(snapshot::SnapError::invalid("empty frequency state set"));
+        }
+        if !states.windows(2).all(|w| w[0].mhz() < w[1].mhz()) {
+            return Err(snapshot::SnapError::invalid("frequency states not strictly ascending"));
+        }
+        Ok(FreqStates { states })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -211,6 +211,33 @@ where
     }
 }
 
+/// The payload of one [`WorkerPool::broadcast`] call: every pool thread
+/// runs `f` exactly once (the per-generation dispatch in `worker_loop`
+/// already guarantees at-most-once per worker; the `done` count lets the
+/// submitter wait for at-least-once).
+struct BroadcastJob<'a, F> {
+    f: &'a F,
+    /// Workers that have completed their single run of `f`.
+    done: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<F> RunJob for BroadcastJob<'_, F>
+where
+    F: Fn() + Sync,
+{
+    fn run_worker(&self) {
+        let r = catch_unwind(AssertUnwindSafe(self.f));
+        self.done.fetch_add(1, Ordering::Release);
+        if let Err(p) = r {
+            let mut first = lock(&self.panic);
+            if first.is_none() {
+                *first = Some(p);
+            }
+        }
+    }
+}
+
 /// The broadcast payload of one `map` call: items, pre-indexed result
 /// slots, a shared cursor for dynamic load balancing, and the first
 /// captured panic.
@@ -383,6 +410,68 @@ impl WorkerPool {
                     .expect("every item mapped")
             })
             .collect()
+    }
+
+    /// Runs `f` once on **every** pool thread — the `threads - 1` workers
+    /// and the calling thread. Unlike [`WorkerPool::map`], which hands
+    /// items to whichever lanes show up, `broadcast` waits until every
+    /// worker has executed `f`, so per-thread state seeded through
+    /// [`with_arena`] is guaranteed to exist on all lanes afterwards.
+    /// This is how snapshot hydration pre-warms every lane's fork arena.
+    ///
+    /// Runs `f` once inline when the pool has no workers or when called
+    /// from inside a pool worker (the outer parallel level owns the lanes).
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on any thread, the first captured panic is resumed on
+    /// the calling thread after all lanes quiesce.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn() + Sync,
+    {
+        if self.handles.is_empty() || in_worker() {
+            f();
+            return;
+        }
+        let job = BroadcastJob { f: &f, done: AtomicUsize::new(0), panic: Mutex::new(None) };
+        let submit = lock(&self.submit);
+        {
+            let erased: *const (dyn RunJob + '_) = &job;
+            // SAFETY (lifetime erasure): identical to `map_capped` — the
+            // quiesce block below retracts the handle only after every
+            // worker has finished with the job, and the submit lock keeps
+            // other submitters from publishing over it.
+            #[allow(clippy::missing_transmute_annotations)]
+            let handle = JobHandle(unsafe { std::mem::transmute(erased) });
+            let mut st = lock(&self.shared.state);
+            st.job = Some(handle);
+            st.generation += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // The submitting thread is itself a lane: run `f` here too.
+        let was_worker = IN_WORKER.with(|w| w.replace(true));
+        let mine = catch_unwind(AssertUnwindSafe(&f));
+        IN_WORKER.with(|w| w.set(was_worker));
+        // Wait until every worker has run the job (not merely until the
+        // running count drains — a worker that hasn't woken yet must still
+        // get its turn), then retract it.
+        {
+            let mut st = lock(&self.shared.state);
+            while job.done.load(Ordering::Acquire) < self.handles.len() || st.running > 0 {
+                st = wait(&self.shared.done_cv, st);
+            }
+            st.job = None;
+        }
+        drop(submit);
+        if let Err(p) = mine {
+            resume_unwind(p);
+        }
+        let worker_panic = lock(&job.panic).take();
+        drop(job);
+        if let Some(p) = worker_panic {
+            resume_unwind(p);
+        }
     }
 
     /// Like [`WorkerPool::map_capped`], but an item whose `f` panics is
@@ -726,6 +815,61 @@ mod tests {
         }));
         assert!(caught.is_err(), "a second-attempt panic must still propagate");
         assert_eq!(pool.map(&items, |&i| i)[19], 19);
+    }
+
+    #[test]
+    fn broadcast_runs_on_every_thread_exactly_once() {
+        use std::collections::HashSet;
+        let pool = WorkerPool::new(4);
+        let ids = Mutex::new(HashSet::new());
+        let runs = AtomicUsize::new(0);
+        pool.broadcast(|| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            ids.lock().unwrap().insert(thread::current().id());
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 4, "one run per lane");
+        assert_eq!(ids.into_inner().unwrap().len(), 4, "each run on a distinct thread");
+    }
+
+    #[test]
+    fn broadcast_seeds_arenas_for_subsequent_maps() {
+        struct Seed(u64);
+        let pool = WorkerPool::new(3);
+        pool.broadcast(|| with_arena(|| Seed(42), |_| ()));
+        // Every lane a later map can use was just seeded, so no map item
+        // should ever construct a fresh arena.
+        let fresh = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.map(&items, |&i| {
+            with_arena(
+                || {
+                    fresh.fetch_add(1, Ordering::Relaxed);
+                    Seed(0)
+                },
+                |s| s.0 + i as u64,
+            )
+        });
+        assert_eq!(fresh.load(Ordering::Relaxed), 0, "broadcast must have seeded every lane");
+        assert_eq!(out[0], 42);
+    }
+
+    #[test]
+    fn broadcast_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(3);
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.broadcast(|| panic!("seed failure"))));
+        assert!(caught.is_err(), "broadcast panic must reach the submitter");
+        let items: Vec<usize> = (0..10).collect();
+        assert_eq!(pool.map(&items, |&i| i * 2)[9], 18);
+    }
+
+    #[test]
+    fn broadcast_single_thread_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let runs = AtomicUsize::new(0);
+        pool.broadcast(|| {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -285,6 +285,37 @@ pub struct FaultCounts {
     pub clamped_epochs: u64,
 }
 
+/// Fault counters ride in sweep resume journals alongside the run results
+/// they explain.
+impl snapshot::Snapshot for FaultCounts {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let FaultCounts {
+            telemetry_dropped,
+            telemetry_stale,
+            telemetry_noisy,
+            actuation_dropped,
+            actuation_delayed,
+            clamped_epochs,
+        } = *self;
+        w.put_u64(telemetry_dropped);
+        w.put_u64(telemetry_stale);
+        w.put_u64(telemetry_noisy);
+        w.put_u64(actuation_dropped);
+        w.put_u64(actuation_delayed);
+        w.put_u64(clamped_epochs);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(FaultCounts {
+            telemetry_dropped: r.take_u64()?,
+            telemetry_stale: r.take_u64()?,
+            telemetry_noisy: r.take_u64()?,
+            actuation_dropped: r.take_u64()?,
+            actuation_delayed: r.take_u64()?,
+            clamped_epochs: r.take_u64()?,
+        })
+    }
+}
+
 impl FaultCounts {
     /// Total fault events of any class.
     pub fn total(&self) -> u64 {

@@ -5,6 +5,7 @@
 //! domain) and for the shared L2 banks (fixed memory domain).
 
 use serde::{Deserialize, Serialize};
+use snapshot::{Decoder, Encoder, SnapError, Snapshot};
 
 const INVALID: u64 = u64::MAX;
 
@@ -30,6 +31,32 @@ impl Default for CacheConfig {
     /// A 16 KiB, 4-way, 64 B-line L1 (one Vega CU vector L1).
     fn default() -> Self {
         CacheConfig { sets: 64, ways: 4, line_shift: 6 }
+    }
+}
+
+/// Decoding re-applies the geometry invariants [`Cache::new`] asserts, as
+/// typed errors: a corrupted snapshot is rejected, never constructed.
+impl Snapshot for CacheConfig {
+    fn encode(&self, w: &mut Encoder) {
+        let CacheConfig { sets, ways, line_shift } = *self;
+        w.put_u32(sets);
+        w.put_u32(ways);
+        w.put_u32(line_shift);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let sets = r.take_u32()?;
+        let ways = r.take_u32()?;
+        let line_shift = r.take_u32()?;
+        if !sets.is_power_of_two() {
+            return Err(SnapError::invalid("cache sets must be a non-zero power of two"));
+        }
+        if ways == 0 {
+            return Err(SnapError::invalid("cache ways must be non-zero"));
+        }
+        if line_shift > 32 {
+            return Err(SnapError::invalid(format!("cache line_shift {line_shift} out of range")));
+        }
+        Ok(CacheConfig { sets, ways, line_shift })
     }
 }
 
@@ -67,6 +94,34 @@ impl Clone for Cache {
         self.tags.clone_from(tags);
         self.hits = *hits;
         self.misses = *misses;
+    }
+}
+
+/// Mirrors the manual `Clone` above field for field; decode checks the tag
+/// array against the decoded geometry before accepting it.
+impl Snapshot for Cache {
+    fn encode(&self, w: &mut Encoder) {
+        let Cache { cfg, tags, hits, misses } = self;
+        cfg.encode(w);
+        tags.encode(w);
+        w.put_u64(*hits);
+        w.put_u64(*misses);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let cfg = CacheConfig::decode(r)?;
+        let tags = Vec::<u64>::decode(r)?;
+        let hits = r.take_u64()?;
+        let misses = r.take_u64()?;
+        if tags.len() as u64 != cfg.sets as u64 * cfg.ways as u64 {
+            return Err(SnapError::invalid(format!(
+                "cache tag array has {} entries, geometry {}x{} requires {}",
+                tags.len(),
+                cfg.sets,
+                cfg.ways,
+                cfg.sets as u64 * cfg.ways as u64
+            )));
+        }
+        Ok(Cache { cfg, tags, hits, misses })
     }
 }
 

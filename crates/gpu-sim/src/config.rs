@@ -64,6 +64,45 @@ impl GpuConfig {
     }
 }
 
+/// Decoding re-applies the invariants `Gpu::new` asserts on its config
+/// (non-zero geometry) as typed errors.
+impl snapshot::Snapshot for GpuConfig {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let GpuConfig { n_cus, wf_slots, issue_width, l1, l1_hit_cycles, mem, initial_freq_mhz } =
+            *self;
+        w.put_usize(n_cus);
+        w.put_usize(wf_slots);
+        w.put_usize(issue_width);
+        l1.encode(w);
+        w.put_u32(l1_hit_cycles);
+        mem.encode(w);
+        w.put_u32(initial_freq_mhz);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        let cfg = GpuConfig {
+            n_cus: r.take_usize()?,
+            wf_slots: r.take_usize()?,
+            issue_width: r.take_usize()?,
+            l1: CacheConfig::decode(r)?,
+            l1_hit_cycles: r.take_u32()?,
+            mem: MemConfig::decode(r)?,
+            initial_freq_mhz: r.take_u32()?,
+        };
+        if cfg.n_cus == 0 {
+            return Err(snapshot::SnapError::invalid("GpuConfig.n_cus must be non-zero"));
+        }
+        if cfg.wf_slots == 0 {
+            return Err(snapshot::SnapError::invalid("GpuConfig.wf_slots must be non-zero"));
+        }
+        if cfg.initial_freq_mhz == 0 {
+            return Err(snapshot::SnapError::invalid(
+                "GpuConfig.initial_freq_mhz must be non-zero",
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

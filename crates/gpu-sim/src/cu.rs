@@ -14,6 +14,7 @@ use crate::stats::{CuEpochStats, OpMix, WfEpochStats};
 use crate::time::{Femtos, Frequency};
 use crate::wavefront::Wavefront;
 use serde::{Deserialize, Serialize};
+use snapshot::{Decoder, Encoder, SnapError, Snapshot};
 
 /// Sentinel "no scheduled cycle" time for fully idle CUs.
 pub const IDLE: Femtos = Femtos(u64::MAX);
@@ -51,6 +52,18 @@ impl WgState {
     }
 }
 
+impl Snapshot for WgState {
+    fn encode(&self, w: &mut Encoder) {
+        let WgState { active, remaining, at_barrier } = *self;
+        w.put_bool(active);
+        w.put_u8(remaining);
+        w.put_u8(at_barrier);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok(WgState { active: r.take_bool()?, remaining: r.take_u8()?, at_barrier: r.take_u8()? })
+    }
+}
+
 /// What happened during one CU step, reported to the GPU top level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StepOutcome {
@@ -65,6 +78,24 @@ enum Gap {
     MemOnly,
     StoreOnly,
     Idle,
+}
+
+impl Snapshot for Gap {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u8(match self {
+            Gap::MemOnly => 0,
+            Gap::StoreOnly => 1,
+            Gap::Idle => 2,
+        });
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Gap::MemOnly,
+            1 => Gap::StoreOnly,
+            2 => Gap::Idle,
+            t => return Err(SnapError::invalid(format!("unknown Gap tag {t}"))),
+        })
+    }
 }
 
 /// A single compute unit.
@@ -182,6 +213,117 @@ impl Clone for Cu {
         self.e_store_stall = *e_store_stall;
         self.e_lead = *e_lead;
         self.e_op_mix = *e_op_mix;
+    }
+}
+
+/// Mirrors the manual `Clone` above (same exhaustive destructuring, same
+/// field order). Decoding re-establishes the CU's internal invariants —
+/// `period` must be the decoded frequency's period and the workgroup table
+/// must pair the slot table — so a corrupted checkpoint cannot produce a CU
+/// whose cycle grid disagrees with its clock.
+impl Snapshot for Cu {
+    fn encode(&self, w: &mut Encoder) {
+        let Cu {
+            id,
+            freq,
+            period,
+            next_cycle,
+            slots,
+            wgs,
+            l1,
+            l1_hit_lat,
+            issue_width,
+            cu_pending_loads,
+            cu_pending_stores,
+            epoch_start,
+            accounted_until,
+            gap_class,
+            e_committed,
+            e_busy,
+            e_mem_only,
+            e_store_only,
+            e_idle,
+            e_store_stall,
+            e_lead,
+            e_op_mix,
+        } = self;
+        w.put_usize(*id);
+        freq.encode(w);
+        period.encode(w);
+        next_cycle.encode(w);
+        slots.encode(w);
+        wgs.encode(w);
+        l1.encode(w);
+        w.put_u64(*l1_hit_lat);
+        w.put_usize(*issue_width);
+        cu_pending_loads.encode(w);
+        cu_pending_stores.encode(w);
+        epoch_start.encode(w);
+        accounted_until.encode(w);
+        gap_class.encode(w);
+        w.put_u64(*e_committed);
+        e_busy.encode(w);
+        e_mem_only.encode(w);
+        e_store_only.encode(w);
+        e_idle.encode(w);
+        e_store_stall.encode(w);
+        e_lead.encode(w);
+        e_op_mix.encode(w);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let cu = Cu {
+            id: r.take_usize()?,
+            freq: Frequency::decode(r)?,
+            period: Femtos::decode(r)?,
+            next_cycle: Femtos::decode(r)?,
+            slots: Vec::<Wavefront>::decode(r)?,
+            wgs: Vec::<WgState>::decode(r)?,
+            l1: Cache::decode(r)?,
+            l1_hit_lat: r.take_u64()?,
+            issue_width: r.take_usize()?,
+            cu_pending_loads: Vec::<Femtos>::decode(r)?,
+            cu_pending_stores: Vec::<Femtos>::decode(r)?,
+            epoch_start: Femtos::decode(r)?,
+            accounted_until: Femtos::decode(r)?,
+            gap_class: Gap::decode(r)?,
+            e_committed: r.take_u64()?,
+            e_busy: Femtos::decode(r)?,
+            e_mem_only: Femtos::decode(r)?,
+            e_store_only: Femtos::decode(r)?,
+            e_idle: Femtos::decode(r)?,
+            e_store_stall: Femtos::decode(r)?,
+            e_lead: Femtos::decode(r)?,
+            e_op_mix: OpMix::decode(r)?,
+        };
+        if cu.period != cu.freq.period() {
+            return Err(SnapError::invalid(format!(
+                "CU {} period {} does not match frequency {}",
+                cu.id, cu.period, cu.freq
+            )));
+        }
+        if cu.slots.len() != cu.wgs.len() {
+            return Err(SnapError::invalid(format!(
+                "CU {} has {} wavefront slots but {} workgroup slots",
+                cu.id,
+                cu.slots.len(),
+                cu.wgs.len()
+            )));
+        }
+        if cu.issue_width == 0 {
+            return Err(SnapError::invalid(format!("CU {} issue_width must be non-zero", cu.id)));
+        }
+        for wf in &cu.slots {
+            if wf.active && wf.wg_local as usize >= cu.wgs.len() {
+                return Err(SnapError::invalid(format!(
+                    "CU {} wavefront {} references workgroup slot {} of {}",
+                    cu.id,
+                    wf.uid,
+                    wf.wg_local,
+                    cu.wgs.len()
+                )));
+            }
+        }
+        Ok(cu)
     }
 }
 

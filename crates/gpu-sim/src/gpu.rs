@@ -12,6 +12,7 @@ use crate::kernel::App;
 use crate::mem::MemSystem;
 use crate::stats::{CuEpochStats, EpochStats};
 use crate::time::{Femtos, Frequency};
+use snapshot::{ContainerReader, ContainerWriter, SnapError, Snapshot};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -324,6 +325,169 @@ impl Gpu {
         }
         self.completion
             .unwrap_or_else(|| panic!("app {} did not complete by {}", self.app.name, deadline))
+    }
+
+    /// Serializes the complete simulator state to a versioned, checksummed
+    /// snapshot container.
+    ///
+    /// The encode mirrors the manual `Clone` above: the same exhaustive
+    /// destructuring, so adding a field without updating this path is a
+    /// compile error. The event heap is written as a sorted event list;
+    /// restoring it rebuilds an equivalent heap (the full `(time, cu)`
+    /// tuple is the ordering key, so any two heaps over the same multiset
+    /// of events pop identically). A GPU restored by
+    /// [`Gpu::load_snapshot`] is therefore *bit-exact*: stepping it
+    /// produces the same event stream, stats and telemetry as the
+    /// uninterrupted original.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let Gpu {
+            cfg,
+            cus,
+            mem,
+            app,
+            kernel_idx,
+            next_wg,
+            wgs_remaining,
+            next_uid,
+            next_age,
+            dispatch_cursor,
+            now,
+            completion,
+            heap,
+            scratch: _, // stateless epoch scratch; rebuilt on load
+        } = self;
+        let mut c = ContainerWriter::new();
+        c.section("config", |w| cfg.encode(w));
+        c.section("app", |w| app.as_ref().encode(w));
+        c.section("cus", |w| cus.encode(w));
+        c.section("mem", |w| mem.encode(w));
+        c.section("sched", |w| {
+            w.put_usize(*kernel_idx);
+            w.put_u32(*next_wg);
+            w.put_u32(*wgs_remaining);
+            w.put_u64(*next_uid);
+            w.put_u64(*next_age);
+            w.put_usize(*dispatch_cursor);
+            now.encode(w);
+            completion.encode(w);
+            let mut events: Vec<(Femtos, usize)> = heap.iter().map(|Reverse(e)| *e).collect();
+            events.sort_unstable();
+            events.encode(w);
+        });
+        c.finish()
+    }
+
+    /// Restores a GPU from a snapshot produced by [`Gpu::save_snapshot`].
+    ///
+    /// Beyond the container-level checks (magic, format version, per-
+    /// section CRC), every cross-structure invariant `Gpu::new` would
+    /// establish is re-validated: CU count and ids against the config,
+    /// wavefront-slot geometry, memory-system config and per-CU miss-port
+    /// count, kernel launch-state bounds, and event-queue indices. A
+    /// corrupted or internally inconsistent snapshot yields a typed error,
+    /// never a panicking simulator.
+    pub fn load_snapshot(bytes: &[u8]) -> Result<Gpu, SnapError> {
+        let c = ContainerReader::parse(bytes)?;
+        let mut r = c.section("config")?;
+        let cfg = GpuConfig::decode(&mut r)?;
+        r.finish()?;
+        let mut r = c.section("app")?;
+        let app = App::decode(&mut r)?;
+        r.finish()?;
+        let mut r = c.section("cus")?;
+        let cus = Vec::<Cu>::decode(&mut r)?;
+        r.finish()?;
+        let mut r = c.section("mem")?;
+        let mem = MemSystem::decode(&mut r)?;
+        r.finish()?;
+        let mut r = c.section("sched")?;
+        let kernel_idx = r.take_usize()?;
+        let next_wg = r.take_u32()?;
+        let wgs_remaining = r.take_u32()?;
+        let next_uid = r.take_u64()?;
+        let next_age = r.take_u64()?;
+        let dispatch_cursor = r.take_usize()?;
+        let now = Femtos::decode(&mut r)?;
+        let completion = Option::<Femtos>::decode(&mut r)?;
+        let events = Vec::<(Femtos, usize)>::decode(&mut r)?;
+        r.finish()?;
+
+        if cus.len() != cfg.n_cus {
+            return Err(SnapError::invalid(format!(
+                "snapshot has {} CUs, config requires {}",
+                cus.len(),
+                cfg.n_cus
+            )));
+        }
+        for (i, cu) in cus.iter().enumerate() {
+            if cu.id != i {
+                return Err(SnapError::invalid(format!("CU at index {i} has id {}", cu.id)));
+            }
+            if cu.wavefronts().len() != cfg.wf_slots {
+                return Err(SnapError::invalid(format!(
+                    "CU {i} has {} wavefront slots, config requires {}",
+                    cu.wavefronts().len(),
+                    cfg.wf_slots
+                )));
+            }
+        }
+        if *mem.config() != cfg.mem {
+            return Err(SnapError::invalid("memory-system config disagrees with GPU config"));
+        }
+        if mem.miss_ports() != cfg.n_cus {
+            return Err(SnapError::invalid(format!(
+                "memory system has {} miss ports, config requires {}",
+                mem.miss_ports(),
+                cfg.n_cus
+            )));
+        }
+        for k in &app.kernels {
+            if k.wg_wavefronts as usize > cfg.wf_slots {
+                return Err(SnapError::invalid(format!(
+                    "kernel {}: workgroup of {} wavefronts exceeds {} CU slots",
+                    k.name, k.wg_wavefronts, cfg.wf_slots
+                )));
+            }
+        }
+        if kernel_idx > app.kernels.len() {
+            return Err(SnapError::invalid(format!(
+                "kernel_idx {kernel_idx} out of range for {} kernels",
+                app.kernels.len()
+            )));
+        }
+        if let Some(k) = app.kernels.get(kernel_idx) {
+            if next_wg > k.workgroups {
+                return Err(SnapError::invalid(format!(
+                    "next_wg {next_wg} exceeds kernel's {} workgroups",
+                    k.workgroups
+                )));
+            }
+        }
+        for &(_, i) in &events {
+            if i >= cfg.n_cus {
+                return Err(SnapError::invalid(format!(
+                    "event queue references CU {i} of {}",
+                    cfg.n_cus
+                )));
+            }
+        }
+
+        Ok(Gpu {
+            cfg,
+            cus,
+            mem,
+            app: Arc::new(app),
+            kernel_idx,
+            next_wg,
+            wgs_remaining,
+            next_uid,
+            next_age,
+            dispatch_cursor,
+            now,
+            completion,
+            heap: BinaryHeap::from(events.into_iter().map(Reverse).collect::<Vec<_>>()),
+            scratch: CollectScratch::default(),
+        })
     }
 
     fn on_workgroup_done(&mut self, t: Femtos) {

@@ -100,6 +100,53 @@ impl Op {
     }
 }
 
+/// Ops are stored as a one-byte variant tag plus operands; unknown tags
+/// are rejected so a corrupted code object cannot decode.
+impl snapshot::Snapshot for Op {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        match *self {
+            Op::Valu { lat } => {
+                w.put_u8(0);
+                w.put_u8(lat);
+            }
+            Op::Salu => w.put_u8(1),
+            Op::Load { pattern } => {
+                w.put_u8(2);
+                w.put_u16(pattern);
+            }
+            Op::Store { pattern } => {
+                w.put_u8(3);
+                w.put_u16(pattern);
+            }
+            Op::Waitcnt { vm, st } => {
+                w.put_u8(4);
+                w.put_u8(vm);
+                w.put_u8(st);
+            }
+            Op::Barrier => w.put_u8(5),
+            Op::Branch { target, slot } => {
+                w.put_u8(6);
+                w.put_u32(target);
+                w.put_u8(slot);
+            }
+            Op::EndKernel => w.put_u8(7),
+        }
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Op::Valu { lat: r.take_u8()? },
+            1 => Op::Salu,
+            2 => Op::Load { pattern: r.take_u16()? },
+            3 => Op::Store { pattern: r.take_u16()? },
+            4 => Op::Waitcnt { vm: r.take_u8()?, st: r.take_u8()? },
+            5 => Op::Barrier,
+            6 => Op::Branch { target: r.take_u32()?, slot: r.take_u8()? },
+            7 => Op::EndKernel,
+            t => return Err(snapshot::SnapError::invalid(format!("unknown Op tag {t}"))),
+        })
+    }
+}
+
 /// Convenience for "wait until all loads have returned".
 pub const WAIT_ALL_LOADS: Op = Op::Waitcnt { vm: 0, st: u8::MAX };
 /// Convenience for "wait until all stores have been acknowledged".

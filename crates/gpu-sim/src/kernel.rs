@@ -8,6 +8,7 @@
 use crate::isa::{pc_of_index, LoopSlot, Op, PatternId, Pc};
 use crate::rng::{mix2, mix3};
 use serde::{Deserialize, Serialize};
+use snapshot::{Decoder, Encoder, SnapError, Snapshot};
 
 /// Cache-line size assumed throughout the memory hierarchy.
 pub const LINE_BYTES: u64 = 64;
@@ -101,6 +102,53 @@ impl AddressPattern {
     }
 }
 
+impl Snapshot for AddressPattern {
+    fn encode(&self, w: &mut Encoder) {
+        match *self {
+            AddressPattern::Stream { base, region } => {
+                w.put_u8(0);
+                w.put_u64(base);
+                w.put_u64(region);
+            }
+            AddressPattern::Tile { base, tile } => {
+                w.put_u8(1);
+                w.put_u64(base);
+                w.put_u64(tile);
+            }
+            AddressPattern::Random { base, region } => {
+                w.put_u8(2);
+                w.put_u64(base);
+                w.put_u64(region);
+            }
+            AddressPattern::Shared { base, region } => {
+                w.put_u8(3);
+                w.put_u64(base);
+                w.put_u64(region);
+            }
+            AddressPattern::Strided { base, stride, region } => {
+                w.put_u8(4);
+                w.put_u64(base);
+                w.put_u64(stride);
+                w.put_u64(region);
+            }
+        }
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => AddressPattern::Stream { base: r.take_u64()?, region: r.take_u64()? },
+            1 => AddressPattern::Tile { base: r.take_u64()?, tile: r.take_u64()? },
+            2 => AddressPattern::Random { base: r.take_u64()?, region: r.take_u64()? },
+            3 => AddressPattern::Shared { base: r.take_u64()?, region: r.take_u64()? },
+            4 => AddressPattern::Strided {
+                base: r.take_u64()?,
+                stride: r.take_u64()?,
+                region: r.take_u64()?,
+            },
+            t => return Err(SnapError::invalid(format!("unknown AddressPattern tag {t}"))),
+        })
+    }
+}
+
 /// Static description of one loop in a kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoopInfo {
@@ -122,6 +170,17 @@ impl LoopInfo {
         let span = 2 * self.jitter as u64 + 1;
         let delta = (h % span) as i32 - self.jitter as i32;
         (self.trips as i32 + delta).max(1) as u16
+    }
+}
+
+impl Snapshot for LoopInfo {
+    fn encode(&self, w: &mut Encoder) {
+        let LoopInfo { trips, jitter } = *self;
+        w.put_u16(trips);
+        w.put_u16(jitter);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok(LoopInfo { trips: r.take_u16()?, jitter: r.take_u16()? })
     }
 }
 
@@ -205,6 +264,35 @@ impl Kernel {
     }
 }
 
+/// Decoding runs [`Kernel::validate`] so a structurally well-formed but
+/// semantically broken code object (dangling branch, missing pattern) is
+/// rejected with a typed error instead of panicking mid-simulation.
+impl Snapshot for Kernel {
+    fn encode(&self, w: &mut Encoder) {
+        let Kernel { name, code, loops, patterns, workgroups, wg_wavefronts, seed } = self;
+        name.encode(w);
+        code.encode(w);
+        loops.encode(w);
+        patterns.encode(w);
+        w.put_u32(*workgroups);
+        w.put_u8(*wg_wavefronts);
+        w.put_u64(*seed);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let k = Kernel {
+            name: String::decode(r)?,
+            code: Vec::<Op>::decode(r)?,
+            loops: Vec::<LoopInfo>::decode(r)?,
+            patterns: Vec::<AddressPattern>::decode(r)?,
+            workgroups: r.take_u32()?,
+            wg_wavefronts: r.take_u8()?,
+            seed: r.take_u64()?,
+        };
+        k.validate().map_err(SnapError::invalid)?;
+        Ok(k)
+    }
+}
+
 /// An application: a named sequence of kernel launches executed back to back
 /// (with an implicit device-wide barrier between launches, as in HIP/CUDA
 /// streams).
@@ -239,6 +327,21 @@ impl App {
         names.sort_unstable();
         names.dedup();
         names.len()
+    }
+}
+
+/// Decoding goes through [`App::new`] so every app-level invariant is
+/// re-checked on restore.
+impl Snapshot for App {
+    fn encode(&self, w: &mut Encoder) {
+        let App { name, kernels } = self;
+        name.encode(w);
+        kernels.encode(w);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let name = String::decode(r)?;
+        let kernels = Vec::<Kernel>::decode(r)?;
+        App::new(name, kernels).map_err(SnapError::invalid)
     }
 }
 

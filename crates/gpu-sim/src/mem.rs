@@ -11,6 +11,7 @@
 use crate::cache::{Cache, CacheConfig};
 use crate::time::{Femtos, Frequency};
 use serde::{Deserialize, Serialize};
+use snapshot::{Decoder, Encoder, SnapError, Snapshot};
 
 /// Configuration of the shared memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,6 +67,77 @@ impl MemConfig {
     /// Peak DRAM bandwidth in GB/s implied by the channel configuration.
     pub fn peak_dram_gbps(&self) -> f64 {
         self.dram_channels as f64 * 64.0 / self.dram_service_ns as f64
+    }
+}
+
+/// Decoding re-applies the invariants [`MemSystem::new`] asserts (non-zero
+/// banks, channels and memory frequency) as typed errors.
+impl Snapshot for MemConfig {
+    fn encode(&self, w: &mut Encoder) {
+        let MemConfig {
+            mem_freq_mhz,
+            l2_banks,
+            l2_bank_cache,
+            l2_service_cycles,
+            l2_hit_ns,
+            noc_ns,
+            dram_channels,
+            dram_service_ns,
+            dram_extra_ns,
+            miss_port_interval_cycles,
+            store_ack_ns,
+        } = *self;
+        w.put_u32(mem_freq_mhz);
+        w.put_u32(l2_banks);
+        l2_bank_cache.encode(w);
+        w.put_u32(l2_service_cycles);
+        w.put_u64(l2_hit_ns);
+        w.put_u64(noc_ns);
+        w.put_u32(dram_channels);
+        w.put_u64(dram_service_ns);
+        w.put_u64(dram_extra_ns);
+        w.put_u32(miss_port_interval_cycles);
+        w.put_u64(store_ack_ns);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let cfg = MemConfig {
+            mem_freq_mhz: r.take_u32()?,
+            l2_banks: r.take_u32()?,
+            l2_bank_cache: CacheConfig::decode(r)?,
+            l2_service_cycles: r.take_u32()?,
+            l2_hit_ns: r.take_u64()?,
+            noc_ns: r.take_u64()?,
+            dram_channels: r.take_u32()?,
+            dram_service_ns: r.take_u64()?,
+            dram_extra_ns: r.take_u64()?,
+            miss_port_interval_cycles: r.take_u32()?,
+            store_ack_ns: r.take_u64()?,
+        };
+        if cfg.mem_freq_mhz == 0 {
+            return Err(SnapError::invalid("zero memory-domain frequency"));
+        }
+        if cfg.l2_banks == 0 || cfg.dram_channels == 0 {
+            return Err(SnapError::invalid("memory system needs >= 1 L2 bank and DRAM channel"));
+        }
+        Ok(cfg)
+    }
+}
+
+impl Snapshot for MemEpochStats {
+    fn encode(&self, w: &mut Encoder) {
+        let MemEpochStats { l2_hits, l2_misses, dram_accesses, dram_bytes } = *self;
+        w.put_u64(l2_hits);
+        w.put_u64(l2_misses);
+        w.put_u64(dram_accesses);
+        w.put_u64(dram_bytes);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok(MemEpochStats {
+            l2_hits: r.take_u64()?,
+            l2_misses: r.take_u64()?,
+            dram_accesses: r.take_u64()?,
+            dram_bytes: r.take_u64()?,
+        })
     }
 }
 
@@ -154,6 +226,64 @@ impl Clone for MemSystem {
     }
 }
 
+/// Mirrors the manual `Clone` above field for field. Decode cross-checks
+/// every server vector against the decoded configuration and re-derives
+/// nothing: `l2_service` is validated against, not recomputed from, the
+/// configuration so any inconsistency is rejected.
+impl Snapshot for MemSystem {
+    fn encode(&self, w: &mut Encoder) {
+        let MemSystem {
+            cfg,
+            l2_tags,
+            l2_next_free,
+            dram_next_free,
+            miss_port_next_free,
+            stats,
+            l2_service,
+        } = self;
+        cfg.encode(w);
+        l2_tags.encode(w);
+        l2_next_free.encode(w);
+        dram_next_free.encode(w);
+        miss_port_next_free.encode(w);
+        stats.encode(w);
+        l2_service.encode(w);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let cfg = MemConfig::decode(r)?;
+        let l2_tags = Vec::<Cache>::decode(r)?;
+        let l2_next_free = Vec::<Femtos>::decode(r)?;
+        let dram_next_free = Vec::<Femtos>::decode(r)?;
+        let miss_port_next_free = Vec::<Femtos>::decode(r)?;
+        let stats = MemEpochStats::decode(r)?;
+        let l2_service = Femtos::decode(r)?;
+        let banks = cfg.l2_banks as usize;
+        if l2_tags.len() != banks || l2_next_free.len() != banks {
+            return Err(SnapError::invalid("L2 bank state does not match configuration"));
+        }
+        if l2_tags.iter().any(|c| c.config() != cfg.l2_bank_cache) {
+            return Err(SnapError::invalid("L2 bank geometry does not match configuration"));
+        }
+        if dram_next_free.len() != cfg.dram_channels as usize {
+            return Err(SnapError::invalid("DRAM channel state does not match configuration"));
+        }
+        let expect_service =
+            Frequency::from_mhz(cfg.mem_freq_mhz).period() * cfg.l2_service_cycles as u64;
+        if l2_service != expect_service {
+            return Err(SnapError::invalid("L2 service time inconsistent with configuration"));
+        }
+        Ok(MemSystem {
+            cfg,
+            l2_tags,
+            l2_next_free,
+            dram_next_free,
+            miss_port_next_free,
+            stats,
+            l2_service,
+        })
+    }
+}
+
 impl MemSystem {
     /// Creates the memory system for `n_cus` compute units.
     ///
@@ -178,6 +308,12 @@ impl MemSystem {
     /// The configuration in effect.
     pub fn config(&self) -> &MemConfig {
         &self.cfg
+    }
+
+    /// Number of per-CU miss ports (equals the CU count this system was
+    /// built for); used to validate restored snapshots.
+    pub(crate) fn miss_ports(&self) -> usize {
+        self.miss_port_next_free.len()
     }
 
     /// Resets per-epoch counters.

@@ -90,6 +90,28 @@ impl OpMix {
     }
 }
 
+impl snapshot::Snapshot for OpMix {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let OpMix { valu, salu, loads, stores, waitcnt, branches } = *self;
+        w.put_u64(valu);
+        w.put_u64(salu);
+        w.put_u64(loads);
+        w.put_u64(stores);
+        w.put_u64(waitcnt);
+        w.put_u64(branches);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(OpMix {
+            valu: r.take_u64()?,
+            salu: r.take_u64()?,
+            loads: r.take_u64()?,
+            stores: r.take_u64()?,
+            waitcnt: r.take_u64()?,
+            branches: r.take_u64()?,
+        })
+    }
+}
+
 /// Telemetry for one compute unit over one epoch.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CuEpochStats {

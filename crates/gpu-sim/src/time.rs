@@ -115,6 +115,15 @@ impl Femtos {
     }
 }
 
+impl snapshot::Snapshot for Femtos {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(Femtos(r.take_u64()?))
+    }
+}
+
 impl Add for Femtos {
     type Output = Femtos;
     #[inline]
@@ -235,6 +244,22 @@ impl Frequency {
     #[inline]
     pub fn cycles_in(self, span: Femtos) -> u64 {
         span.0 / self.period().0
+    }
+}
+
+/// A snapshot stores the raw MHz value; decoding re-applies the
+/// non-zero invariant [`Frequency::from_mhz`] asserts, but as a typed
+/// error so corrupted snapshots are rejected rather than panicking.
+impl snapshot::Snapshot for Frequency {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        let mhz = r.take_u32()?;
+        if mhz == 0 {
+            return Err(snapshot::SnapError::invalid("zero frequency"));
+        }
+        Ok(Frequency(mhz))
     }
 }
 

@@ -129,6 +129,98 @@ impl Clone for Wavefront {
     }
 }
 
+/// Mirrors the manual `Clone` above: the same exhaustive destructuring, so
+/// a new field breaks this impl at compile time too.
+impl snapshot::Snapshot for Wavefront {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let Wavefront {
+            active,
+            uid,
+            age,
+            wg_local,
+            kernel_idx,
+            pc_index,
+            branch_iters,
+            mem_counter,
+            pending_loads,
+            pending_stores,
+            wait_until,
+            mem_blocked_until,
+            at_barrier,
+            barrier_since,
+            finished,
+            e_committed,
+            e_stall,
+            e_barrier_stall,
+            e_sched_wait,
+            e_lead,
+            e_start_pc_index,
+            e_start_blocked,
+            e_present,
+        } = self;
+        w.put_bool(*active);
+        w.put_u64(*uid);
+        w.put_u64(*age);
+        w.put_u8(*wg_local);
+        w.put_u32(*kernel_idx);
+        w.put_u32(*pc_index);
+        w.put_usize(branch_iters.len());
+        for &it in branch_iters {
+            w.put_u16(it);
+        }
+        w.put_u64(*mem_counter);
+        pending_loads.encode(w);
+        pending_stores.encode(w);
+        wait_until.encode(w);
+        mem_blocked_until.encode(w);
+        w.put_bool(*at_barrier);
+        barrier_since.encode(w);
+        w.put_bool(*finished);
+        w.put_u32(*e_committed);
+        e_stall.encode(w);
+        e_barrier_stall.encode(w);
+        e_sched_wait.encode(w);
+        e_lead.encode(w);
+        w.put_u32(*e_start_pc_index);
+        w.put_bool(*e_start_blocked);
+        w.put_bool(*e_present);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(Wavefront {
+            active: r.take_bool()?,
+            uid: r.take_u64()?,
+            age: r.take_u64()?,
+            wg_local: r.take_u8()?,
+            kernel_idx: r.take_u32()?,
+            pc_index: r.take_u32()?,
+            branch_iters: {
+                let n = r.take_len()?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.take_u16()?);
+                }
+                v
+            },
+            mem_counter: r.take_u64()?,
+            pending_loads: Vec::<Femtos>::decode(r)?,
+            pending_stores: Vec::<Femtos>::decode(r)?,
+            wait_until: Femtos::decode(r)?,
+            mem_blocked_until: Femtos::decode(r)?,
+            at_barrier: r.take_bool()?,
+            barrier_since: Femtos::decode(r)?,
+            finished: r.take_bool()?,
+            e_committed: r.take_u32()?,
+            e_stall: Femtos::decode(r)?,
+            e_barrier_stall: Femtos::decode(r)?,
+            e_sched_wait: Femtos::decode(r)?,
+            e_lead: Femtos::decode(r)?,
+            e_start_pc_index: r.take_u32()?,
+            e_start_blocked: r.take_bool()?,
+            e_present: r.take_bool()?,
+        })
+    }
+}
+
 impl Wavefront {
     /// An empty (inactive) slot.
     pub fn empty() -> Self {

@@ -81,7 +81,10 @@ impl AgreementObserver {
 
 impl RunObserver for AgreementObserver {
     fn on_decisions(&mut self, ctx: &EpochCtx<'_>) {
-        let samples = ctx.samples.expect("agreement scoring needs per-epoch sampling");
+        // Agreement needs ground-truth curves; attached to a session that
+        // is not force-sampling, the epoch simply goes unscored instead of
+        // panicking the run.
+        let Some(samples) = ctx.samples else { return };
         let states = &ctx.cfg.states;
         for (d, dec) in ctx.decisions.iter().enumerate() {
             // `current` still holds the previous epoch's frequency here —
@@ -96,8 +99,16 @@ impl RunObserver for AgreementObserver {
                 current: ctx.current[d],
             };
             let oracle_choice = ctx.cfg.objective.choose(&sel, samples.curve(d, states));
-            let oi = states.index_of(oracle_choice).expect("state in set");
-            let pi = states.index_of(dec.freq).expect("state in set");
+            // Both choices come from the configured set, but map through
+            // `nearest` so an off-grid state (a policy bug) skews the
+            // distance by at most one step instead of panicking scoring.
+            let idx = |f| {
+                states.index_of(f).unwrap_or_else(|| {
+                    states.index_of(states.nearest(f)).expect("nearest is a member")
+                })
+            };
+            let oi = idx(oracle_choice);
+            let pi = idx(dec.freq);
             let dist = oi.abs_diff(pi) as u64;
             self.agreement.total += 1;
             self.agreement.distance_sum += dist;

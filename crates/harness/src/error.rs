@@ -38,6 +38,14 @@ pub enum HarnessError {
     },
     /// A malformed `--faults` specification.
     FaultSpec(String),
+    /// A snapshot or resume-journal file that failed to decode.
+    Snapshot {
+        /// The file being decoded (the cache key path, a journal path or
+        /// an explicit `repro snapshot` argument).
+        path: PathBuf,
+        /// The codec-level failure.
+        source: snapshot::SnapError,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -53,6 +61,9 @@ impl fmt::Display for HarnessError {
                 write!(f, "cannot write {}: {source}", path.display())
             }
             HarnessError::FaultSpec(msg) => write!(f, "bad --faults spec: {msg}"),
+            HarnessError::Snapshot { path, source } => {
+                write!(f, "cannot decode snapshot {}: {source}", path.display())
+            }
         }
     }
 }
@@ -61,6 +72,7 @@ impl std::error::Error for HarnessError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HarnessError::Io { source, .. } => Some(source),
+            HarnessError::Snapshot { source, .. } => Some(source),
             _ => None,
         }
     }

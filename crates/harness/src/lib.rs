@@ -10,7 +10,12 @@
 //!   composition of [`session`] with the standard observer set.
 //! * [`studies`] — the characterization studies (Figures 5–11) built on
 //!   fork-probed sensitivity traces.
-//! * [`sweeps`] — parallel (workload × design) grids.
+//! * [`sweeps`] — parallel (workload × design) grids, with per-grid
+//!   resume journals (a killed sweep restarts without redoing completed
+//!   cells, bit-identically).
+//! * [`snapcache`] — the content-addressed warmup snapshot store: warmup
+//!   prefixes are restored from versioned binary snapshots instead of
+//!   re-simulated.
 //! * [`figures`] — one entry point per paper figure/table, scale-controlled
 //!   by `PCSTALL_FULL`.
 //! * [`report`] — markdown/CSV rendering via the crash-safe atomic writer;
@@ -35,6 +40,7 @@ pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod session;
+pub mod snapcache;
 pub mod studies;
 pub mod sweeps;
 

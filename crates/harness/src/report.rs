@@ -15,6 +15,18 @@ use std::path::Path;
 ///
 /// Propagates filesystem errors; the temporary file is removed on failure.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level [`write_atomic`]: the crash-safe writer binary artifacts
+/// (snapshots, sweep resume journals) go through. Matches the
+/// `snapshot::AtomicWriter` signature so it plugs straight into a
+/// [`snapshot::SnapshotStore`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temporary file is removed on failure.
+pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
     if let Some(dir) = dir {
         fs::create_dir_all(dir)?;
@@ -30,7 +42,7 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     let tmp = path.with_file_name(tmp_name);
     let write_then_rename = (|| {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
+        f.write_all(contents)?;
         // Data must be durable before the rename publishes the name.
         f.sync_all()?;
         fs::rename(&tmp, path)

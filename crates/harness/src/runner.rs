@@ -73,6 +73,65 @@ pub struct FaultReport {
     pub ladder: Option<pcstall::resilience::FallbackCounts>,
 }
 
+/// Fault reports ride in sweep resume journals inside their
+/// [`RunResult`].
+impl snapshot::Snapshot for FaultReport {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let FaultReport { counts, ladder } = *self;
+        counts.encode(w);
+        ladder.encode(w);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(FaultReport {
+            counts: faults::FaultCounts::decode(r)?,
+            ladder: Option::<pcstall::resilience::FallbackCounts>::decode(r)?,
+        })
+    }
+}
+
+/// Run results are what a sweep resume journal persists per completed
+/// cell. Floats are exact LE bit patterns, so a journaled result is
+/// bit-identical to the in-memory one it was decoded from — which is what
+/// lets a resumed sweep produce output indistinguishable from an
+/// uninterrupted run.
+impl snapshot::Snapshot for RunResult {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let RunResult {
+            policy,
+            app,
+            metrics,
+            accuracy,
+            epochs,
+            freq_residency,
+            completed,
+            sensitivity_trace,
+            fault_report,
+        } = self;
+        policy.encode(w);
+        app.encode(w);
+        metrics.encode(w);
+        w.put_f64(*accuracy);
+        w.put_usize(*epochs);
+        freq_residency.encode(w);
+        w.put_bool(*completed);
+        sensitivity_trace.encode(w);
+        fault_report.encode(w);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(RunResult {
+            policy: String::decode(r)?,
+            app: String::decode(r)?,
+            metrics: RunMetrics::decode(r)?,
+            accuracy: r.take_f64()?,
+            epochs: r.take_usize()?,
+            freq_residency: Vec::<f64>::decode(r)?,
+            completed: r.take_bool()?,
+            sensitivity_trace: Option::<SensitivityTrace>::decode(r)?,
+            fault_report: Option::<FaultReport>::decode(r)?,
+        })
+    }
+}
+
 impl RunConfig {
     /// The paper's standard setup for a given design: 64-CU GPU, per-CU
     /// domains, 1 µs epochs, ED²P objective.

@@ -236,8 +236,22 @@ impl Session {
     /// GPU starts at the platform's initial frequency with the full state
     /// set allowed.
     pub fn new(app: &App, cfg: &RunConfig) -> Self {
+        Self::with_warm_gpu(app, cfg, Gpu::new(cfg.gpu, app.clone()))
+    }
+
+    /// Creates a session that adopts an already-warmed GPU — restored from
+    /// a warmup snapshot ([`crate::snapcache`]) or simulated elsewhere —
+    /// instead of constructing a fresh one. The GPU must still be at the
+    /// platform's initial frequency (warmup runs policy-free at the initial
+    /// state, so every snapcache snapshot satisfies this); stepping the
+    /// session is then bit-identical to warming up in-line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu`'s platform is not `cfg.gpu`.
+    pub fn with_warm_gpu(app: &App, cfg: &RunConfig, gpu: Gpu) -> Self {
+        assert_eq!(*gpu.config(), cfg.gpu, "warmed GPU platform differs from the run config");
         SIM_RUNS.fetch_add(1, Ordering::Relaxed);
-        let gpu = Gpu::new(cfg.gpu, app.clone());
         let domains = DomainMap::grouped(cfg.gpu.n_cus, cfg.group);
         let mut policy = cfg.policy.build();
         if let Some(setup) = &cfg.faults {
@@ -265,6 +279,26 @@ impl Session {
             policy,
             power,
         }
+    }
+
+    /// Creates a session whose warmup prefix — `warmup_epochs` epochs at
+    /// the platform's initial frequency, before the policy engages — is
+    /// served from the content-addressed warmup store
+    /// ([`crate::snapcache`]) instead of re-simulated whenever a matching
+    /// snapshot exists. The restored state is bit-exact, so the session's
+    /// subsequent epochs are bit-identical to a cold warmup.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HarnessError::Io`] when a freshly simulated warmup snapshot
+    /// cannot be persisted to the store's cache directory.
+    pub fn warmed(
+        app: &App,
+        cfg: &RunConfig,
+        warmup_epochs: usize,
+    ) -> Result<Self, crate::HarnessError> {
+        let gpu = crate::snapcache::warmed_gpu(app, cfg, warmup_epochs)?;
+        Ok(Self::with_warm_gpu(app, cfg, gpu))
     }
 
     /// Forces fork–pre-execute sampling on every epoch even when the
@@ -518,7 +552,12 @@ impl AccuracyObserver {
 impl RunObserver for AccuracyObserver {
     fn on_epoch(&mut self, ctx: &EpochCtx<'_>, stats: &EpochStats) {
         for (d, dec) in ctx.decisions.iter().enumerate() {
-            let a_idx = ctx.allowed.index_of(dec.freq).expect("chosen state not in allowed set");
+            // Decisions are made over `allowed`, but map an off-grid choice
+            // (a policy bug, not a scoring concern) through `nearest` so
+            // accuracy accounting can never panic a run.
+            let a_idx = ctx.allowed.index_of(dec.freq).unwrap_or_else(|| {
+                ctx.allowed.index_of(ctx.allowed.nearest(dec.freq)).expect("nearest is a member")
+            });
             self.meter.observe(dec.predicted[a_idx], stats.committed_in(ctx.domains.cus(d)) as f64);
         }
     }
@@ -652,6 +691,19 @@ impl SensitivityTrace {
             .map(|d| crate::studies::avg_floored_change(&self.domain_trace(d), floor))
             .collect();
         per.iter().sum::<f64>() / n.max(1) as f64
+    }
+}
+
+/// Traces ride in sweep resume journals inside their [`RunResult`]; the
+/// floats are exact LE bit patterns, so a journal round trip is
+/// bit-identical.
+impl snapshot::Snapshot for SensitivityTrace {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let SensitivityTrace { per_domain } = self;
+        per_domain.encode(w);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(SensitivityTrace { per_domain: Vec::<Vec<f64>>::decode(r)? })
     }
 }
 

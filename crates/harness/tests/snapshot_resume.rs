@@ -1,0 +1,152 @@
+//! Pins the checkpoint/restore guarantees at the harness layer:
+//!
+//! * **Warmup reuse is bit-exact** — a session whose warmup prefix was
+//!   restored from the content-addressed snapshot store produces the same
+//!   final result and the same final GPU state as one that simulated the
+//!   warmup in-line, across apps and policies.
+//! * **Sweep resume is bit-identical** — a grid killed mid-sweep (via an
+//!   injected lane panic) and resumed from its journal produces exactly
+//!   the cells an uninterrupted sweep produces, at any worker count
+//!   (`ci.sh` runs this file at `PCSTALL_THREADS=1` and `8`).
+//! * **Journal safety** — a journal from a different grid, or garbage
+//!   bytes, degrades to a cold start instead of contaminating results.
+
+use faults::PanicPlan;
+use gpu_sim::config::GpuConfig;
+use harness::runner::RunConfig;
+use harness::session::Session;
+use harness::snapcache;
+use harness::sweeps::{grid_key, run_grid_resumable, run_grid_resumable_chaos};
+use pcstall::estimators::CuEstimator;
+use pcstall::policy::PolicyKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use workloads::{by_name, Scale};
+
+fn tiny_cfg(policy: PolicyKind, max_epochs: usize) -> RunConfig {
+    let mut cfg = RunConfig::paper(policy);
+    cfg.gpu = GpuConfig::tiny();
+    cfg.max_epochs = max_epochs;
+    cfg
+}
+
+fn tmp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pcstall-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("grid.journal")
+}
+
+/// Runs a session to its epoch cap with no observers and returns the
+/// final result's exact byte encoding plus the final GPU snapshot.
+/// Comparing encodings (not `PartialEq`) keeps the check bit-exact even
+/// for NaN fields like the unscored accuracy.
+fn drain(mut s: Session) -> (Vec<u8>, Vec<u8>) {
+    s.run(&mut []);
+    let mut e = snapshot::Encoder::new();
+    snapshot::Snapshot::encode(&s.finalize(), &mut e);
+    (e.into_bytes(), s.gpu().save_snapshot())
+}
+
+#[test]
+fn warmup_reuse_is_bit_exact_across_apps_and_policies() {
+    for app_name in ["comd", "xsbench"] {
+        for policy in [PolicyKind::Static(1700), PolicyKind::Reactive(CuEstimator::Stall)] {
+            let app = by_name(app_name, Scale::Quick).unwrap();
+            let cfg = tiny_cfg(policy, 10);
+            let warm_epochs = 6;
+            // Cold: simulate the warmup prefix in-line.
+            let cold_gpu = snapcache::cold_warmup_gpu(&app, &cfg, warm_epochs);
+            let (cold_result, cold_final) = drain(Session::with_warm_gpu(&app, &cfg, cold_gpu));
+            // Warm, twice: the first call populates the store, the second
+            // restores from it — both must match the cold path exactly.
+            for round in 0..2 {
+                let warm = Session::warmed(&app, &cfg, warm_epochs).expect("warmup store usable");
+                let (warm_result, warm_final) = drain(warm);
+                assert_eq!(
+                    cold_result, warm_result,
+                    "{app_name}/{policy:?} round {round}: restored warmup diverged"
+                );
+                assert_eq!(
+                    cold_final, warm_final,
+                    "{app_name}/{policy:?} round {round}: final GPU state not bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identically() {
+    let apps =
+        vec![by_name("comd", Scale::Quick).unwrap(), by_name("dgemm", Scale::Quick).unwrap()];
+    let policies = vec![PolicyKind::Static(1700), PolicyKind::Reactive(CuEstimator::Stall)];
+    let base = tiny_cfg(PolicyKind::Static(1700), 8);
+    let journal = tmp_journal("kill");
+
+    // Uninterrupted reference sweep (its own journal path).
+    let reference = tmp_journal("reference");
+    let (expected, restored) =
+        run_grid_resumable(&apps, &policies, &base, 4, &reference).expect("reference sweep");
+    assert_eq!(restored, 0);
+    assert_eq!(expected.len(), 4);
+
+    // Kill the sweep mid-grid: lane 3 panics after earlier cells journal.
+    let plan = PanicPlan::for_indices([3]);
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        run_grid_resumable_chaos(&apps, &policies, &base, 4, &journal, Some(&plan))
+    }));
+    assert!(killed.is_err(), "armed plan must kill the sweep");
+    assert!(journal.exists(), "completed cells must be journaled before the kill");
+
+    // Resume: finished cells are skipped, the rest recomputed, and the
+    // merged output is bit-identical to the uninterrupted sweep.
+    let (resumed, restored) =
+        run_grid_resumable(&apps, &policies, &base, 4, &journal).expect("resumed sweep");
+    assert!(restored > 0, "resume must reuse journaled cells");
+    assert!(restored < expected.len(), "the killed cell cannot have been journaled");
+    assert_eq!(resumed, expected, "resumed sweep must be bit-identical to uninterrupted");
+
+    // A third run restores everything and recomputes nothing.
+    let (replayed, restored) =
+        run_grid_resumable(&apps, &policies, &base, 4, &journal).expect("replayed sweep");
+    assert_eq!(restored, expected.len());
+    assert_eq!(replayed, expected);
+
+    for p in [&journal, &reference] {
+        if let Some(d) = p.parent() {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}
+
+#[test]
+fn foreign_or_corrupt_journal_degrades_to_cold_start() {
+    let apps = vec![by_name("comd", Scale::Quick).unwrap()];
+    let policies = vec![PolicyKind::Static(1700), PolicyKind::Static(2200)];
+    let base = tiny_cfg(PolicyKind::Static(1700), 6);
+    let journal = tmp_journal("foreign");
+
+    // Garbage bytes: not a container at all.
+    std::fs::create_dir_all(journal.parent().unwrap()).unwrap();
+    std::fs::write(&journal, b"not a journal").unwrap();
+    let (cells, restored) =
+        run_grid_resumable(&apps, &policies, &base, 2, &journal).expect("sweep over garbage");
+    assert_eq!(restored, 0, "garbage must not restore anything");
+    assert_eq!(cells.len(), 2);
+
+    // A valid journal for a *different* grid (other epoch cap → other
+    // key): must be ignored, then overwritten with this grid's cells.
+    let other = tiny_cfg(PolicyKind::Static(1700), 4);
+    let (_, _) = run_grid_resumable(&apps, &policies, &other, 2, &journal).expect("other grid");
+    let (again, restored) =
+        run_grid_resumable(&apps, &policies, &base, 2, &journal).expect("sweep over foreign");
+    assert_eq!(restored, 0, "a foreign journal must not be replayed");
+    assert_eq!(again, cells);
+    assert_ne!(
+        grid_key(&apps, &policies, &base),
+        grid_key(&apps, &policies, &other),
+        "different grids must have different keys"
+    );
+
+    let _ = std::fs::remove_dir_all(journal.parent().unwrap());
+}

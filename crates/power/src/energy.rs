@@ -77,6 +77,19 @@ pub struct RunMetrics {
     pub delay_s: f64,
 }
 
+/// Run metrics ride in sweep resume journals; the floats are stored as
+/// exact LE bit patterns, so a journal round trip is bit-identical.
+impl snapshot::Snapshot for RunMetrics {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let RunMetrics { energy_j, delay_s } = *self;
+        w.put_f64(energy_j);
+        w.put_f64(delay_s);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(RunMetrics { energy_j: r.take_f64()?, delay_s: r.take_f64()? })
+    }
+}
+
 impl RunMetrics {
     /// Energy–delay product (battery-oriented objective).
     pub fn edp(&self) -> f64 {

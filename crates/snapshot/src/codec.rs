@@ -1,0 +1,459 @@
+//! Varint-packed binary encoding and the [`Snapshot`] trait.
+//!
+//! Integers are LEB128 varints (state is dominated by small counters and
+//! femtosecond deltas that fit a few bytes); `f64` is written as its exact
+//! IEEE-754 bit pattern so metric values round-trip bit-identically.
+//! Decoding is bounds-checked everywhere: running off the end of the input
+//! yields [`SnapError::Truncated`], structurally impossible values yield
+//! [`SnapError::Invalid`] — never a panic and never an unbounded
+//! allocation (collection lengths are validated against the bytes that
+//! remain before reserving memory).
+
+use crate::error::SnapError;
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a LEB128 varint.
+    pub fn put_u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a `u32` as a varint.
+    pub fn put_u32(&mut self, v: u32) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a `u16` as a varint.
+    pub fn put_u16(&mut self, v: u16) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a `usize` as a varint.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a boolean as one byte (`0`/`1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes an `f64` as its exact little-endian IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix (section splicing and
+    /// container-level tooling; pair with [`Decoder::take_raw`]).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed — catches encoder/decoder
+    /// drift where a field was added on one side only.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::invalid(format!("{} trailing bytes after decode", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn take_u64(&mut self) -> Result<u64, SnapError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take(1)?[0];
+            let part = (byte & 0x7F) as u64;
+            if shift == 63 && part > 1 {
+                return Err(SnapError::invalid("varint overflows u64"));
+            }
+            v |= part << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(SnapError::invalid("varint longer than 10 bytes"))
+    }
+
+    /// Reads a varint, failing if it exceeds `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, SnapError> {
+        u32::try_from(self.take_u64()?).map_err(|_| SnapError::invalid("value exceeds u32"))
+    }
+
+    /// Reads a varint, failing if it exceeds `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, SnapError> {
+        u16::try_from(self.take_u64()?).map_err(|_| SnapError::invalid("value exceeds u16"))
+    }
+
+    /// Reads a varint, failing if it exceeds `usize`.
+    pub fn take_usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.take_u64()?).map_err(|_| SnapError::invalid("value exceeds usize"))
+    }
+
+    /// Reads one raw byte.
+    pub fn take_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean, rejecting anything but `0`/`1`.
+    pub fn take_bool(&mut self) -> Result<bool, SnapError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::invalid(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, SnapError> {
+        let bytes: [u8; 8] = self.take(8)?.try_into().expect("take returned 8 bytes");
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.take_usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.take_bytes()?)
+            .map_err(|_| SnapError::invalid("string is not UTF-8"))
+    }
+
+    /// Reads `n` raw bytes with no length prefix.
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Reads a collection length, rejecting lengths that cannot possibly
+    /// fit in the remaining input (each element costs >= 1 byte) so a
+    /// corrupted length can't trigger a huge allocation.
+    pub fn take_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.take_usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Bit-exact binary state capture.
+///
+/// Implementations are written by hand, field by field, in declaration
+/// order, mirroring the simulator's manual `clone_from` chain: exhaustive
+/// struct destructuring in `encode` turns "someone added a field" into a
+/// compile error rather than a silently incomplete snapshot.
+pub trait Snapshot: Sized {
+    /// Appends this value's state to `w`.
+    fn encode(&self, w: &mut Encoder);
+    /// Reconstructs a value, validating as it goes.
+    ///
+    /// # Errors
+    ///
+    /// Any structural or semantic defect in the input yields a
+    /// [`SnapError`]; decoding never panics.
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError>;
+}
+
+impl Snapshot for u8 {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_u8()
+    }
+}
+
+impl Snapshot for u16 {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u16(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_u16()
+    }
+}
+
+impl Snapshot for u32 {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_u32()
+    }
+}
+
+impl Snapshot for u64 {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_u64()
+    }
+}
+
+impl Snapshot for usize {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_usize(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_usize()
+    }
+}
+
+impl Snapshot for bool {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_bool()
+    }
+}
+
+impl Snapshot for f64 {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        r.take_f64()
+    }
+}
+
+impl Snapshot for String {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok(r.take_str()?.to_owned())
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn encode(&self, w: &mut Encoder) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(SnapError::invalid(format!("Option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_usize(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let n = r.take_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn encode(&self, w: &mut Encoder) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Snapshot + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = Encoder::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        assert_eq!(T::decode(&mut r).unwrap(), v);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            round_trip(v);
+        }
+        round_trip(u32::MAX);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(42u8);
+        round_trip(65535u16);
+        for v in [0.0f64, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY] {
+            round_trip(v);
+        }
+        round_trip("hello snapshot".to_string());
+        round_trip(Option::<u64>::None);
+        round_trip(Some(99u64));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip((7u32, "pair".to_string()));
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = Encoder::new();
+        weird.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = f64::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut w = Encoder::new();
+        vec![1u64; 16].encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Decoder::new(&bytes[..cut]);
+            assert_eq!(Vec::<u64>::decode(&mut r), Err(SnapError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn huge_length_rejected_without_allocating() {
+        let mut w = Encoder::new();
+        w.put_usize(usize::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        assert_eq!(Vec::<u8>::decode(&mut r), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let bytes = [0xFFu8; 11];
+        let mut r = Decoder::new(&bytes);
+        assert!(matches!(r.take_u64(), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn varint_msb_overflow_rejected() {
+        // 10-byte varint whose final byte carries more than the single
+        // remaining bit of a u64.
+        let bytes = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        let mut r = Decoder::new(&bytes);
+        assert!(matches!(r.take_u64(), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn bad_bool_and_tag_rejected() {
+        let mut r = Decoder::new(&[2]);
+        assert!(matches!(r.take_bool(), Err(SnapError::Invalid(_))));
+        let mut r = Decoder::new(&[7]);
+        assert!(matches!(Option::<u8>::decode(&mut r), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut w = Encoder::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        assert!(matches!(String::decode(&mut r), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut r = Decoder::new(&[1, 2, 3]);
+        r.take_u8().unwrap();
+        assert!(matches!(r.finish(), Err(SnapError::Invalid(_))));
+    }
+}

@@ -1,0 +1,55 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! The container records one checksum per section so that a single flipped
+//! bit anywhere in a snapshot is detected before any payload is decoded.
+//! The reflected polynomial `0xEDB88320` matches zlib/PNG, making section
+//! checksums easy to verify with external tooling.
+
+/// Lookup table for the reflected IEEE polynomial, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (IEEE, reflected, init/xorout `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"snapshot payload");
+        let mut flipped = b"snapshot payload".to_vec();
+        flipped[5] ^= 0x01;
+        assert_ne!(a, crc32(&flipped));
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed decode/validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a snapshot could not be decoded.
+///
+/// Every constructor of this type corresponds to a *rejection*: the codec
+/// and container layers are total functions from bytes to
+/// `Result<_, SnapError>` and never panic on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte string does not start with the snapshot magic.
+    BadMagic,
+    /// The container was written by an unsupported format version.
+    Version {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this build understands.
+        supported: u16,
+    },
+    /// The input ended before the structure it promised.
+    Truncated,
+    /// A section's payload does not match its recorded CRC-32.
+    Corrupt {
+        /// Name of the failing section.
+        section: String,
+    },
+    /// A section the decoder requires is absent from the container.
+    MissingSection {
+        /// Name of the absent section.
+        section: String,
+    },
+    /// The bytes decoded structurally but describe an invalid state
+    /// (zero frequency, mismatched geometry, out-of-range index, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapError::Version { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} unsupported (this build reads <= {supported})"
+                )
+            }
+            SnapError::Truncated => write!(f, "snapshot truncated"),
+            SnapError::Corrupt { section } => {
+                write!(f, "snapshot section `{section}` fails its checksum")
+            }
+            SnapError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section `{section}`")
+            }
+            SnapError::Invalid(why) => write!(f, "snapshot describes invalid state: {why}"),
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+impl SnapError {
+    /// Shorthand for an [`SnapError::Invalid`] with formatted context.
+    pub fn invalid(why: impl Into<String>) -> Self {
+        SnapError::Invalid(why.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(SnapError, &str)> = vec![
+            (SnapError::BadMagic, "magic"),
+            (SnapError::Version { found: 9, supported: 1 }, "version 9"),
+            (SnapError::Truncated, "truncated"),
+            (SnapError::Corrupt { section: "cus".into() }, "`cus`"),
+            (SnapError::MissingSection { section: "mem".into() }, "`mem`"),
+            (SnapError::invalid("zero frequency"), "zero frequency"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e} missing {needle}");
+        }
+    }
+}

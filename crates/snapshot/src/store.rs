@@ -1,0 +1,283 @@
+//! Content-addressed snapshot store: in-memory LRU over an on-disk cache.
+//!
+//! Keys are produced by [`content_key`] from whatever identifies the cached
+//! state (application name, configuration, warmup depth, ...): change any
+//! ingredient and the key changes, so stale cache entries are never
+//! *invalidated* — they are simply never addressed again. Disk writes go
+//! through a pluggable atomic-writer callback so embedders route them
+//! through their own crash-safe I/O path (the harness wires its
+//! `report::write_atomic` machinery here).
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension of on-disk snapshot cache entries.
+pub const SNAP_EXT: &str = "snap";
+
+/// Crash-safe file writer signature: write `bytes` to `path` such that a
+/// crash leaves either the old file or the new one, never a torn mix.
+pub type AtomicWriter = fn(&Path, &[u8]) -> io::Result<()>;
+
+/// Fallback atomic writer: temp file in the target directory + rename.
+fn default_atomic_writer(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    let result = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// 64-bit FNV-1a content key over an ordered list of identity parts.
+///
+/// Parts are length-delimited before hashing so `["ab", "c"]` and
+/// `["a", "bc"]` produce different keys. The result is a 16-hex-digit
+/// string usable directly as a cache file stem.
+pub fn content_key(parts: &[&str]) -> String {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for p in parts {
+        eat(&(p.len() as u64).to_le_bytes());
+        eat(p.as_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// An in-memory LRU in front of an optional on-disk cache directory.
+///
+/// `get` promotes on both layers: a disk hit is pulled into memory, a
+/// memory hit refreshes recency. `put` writes through to disk (when a
+/// directory is configured) via the injected [`AtomicWriter`].
+pub struct SnapshotStore {
+    dir: Option<PathBuf>,
+    writer: AtomicWriter,
+    capacity: usize,
+    /// Most-recently-used entry at the back.
+    entries: VecDeque<(String, Vec<u8>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("dir", &self.dir)
+            .field("capacity", &self.capacity)
+            .field("resident", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl SnapshotStore {
+    /// A store backed by `dir` (created lazily on first write), keeping at
+    /// most `capacity` entries resident in memory.
+    pub fn new(dir: impl Into<PathBuf>, capacity: usize) -> Self {
+        SnapshotStore {
+            dir: Some(dir.into()),
+            writer: default_atomic_writer,
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A purely in-memory store (tests, `--snapshot-dir` disabled).
+    pub fn in_memory(capacity: usize) -> Self {
+        SnapshotStore {
+            dir: None,
+            writer: default_atomic_writer,
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Replaces the disk writer (e.g. with the harness's crash-safe
+    /// `write_atomic`). Returns `self` for builder-style construction.
+    pub fn with_writer(mut self, writer: AtomicWriter) -> Self {
+        self.writer = writer;
+        self
+    }
+
+    /// The on-disk path a key maps to, if a directory is configured.
+    pub fn path_for(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.{SNAP_EXT}")))
+    }
+
+    /// The cache directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks up `key`, consulting memory then disk. Disk read errors are
+    /// treated as misses: a half-written or deleted cache entry degrades
+    /// to recomputation, never to a failure.
+    pub fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == key) {
+            let entry = self.entries.remove(i).expect("position just found");
+            let bytes = entry.1.clone();
+            self.entries.push_back(entry);
+            self.hits += 1;
+            return Some(bytes);
+        }
+        if let Some(path) = self.path_for(key) {
+            if let Ok(bytes) = fs::read(&path) {
+                self.insert_resident(key.to_owned(), bytes.clone());
+                self.hits += 1;
+                return Some(bytes);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts `key -> bytes`, writing through to disk when configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atomic writer's I/O error; the in-memory entry is
+    /// installed regardless, so the caller still benefits this process.
+    pub fn put(&mut self, key: &str, bytes: Vec<u8>) -> io::Result<()> {
+        let disk = match self.path_for(key) {
+            Some(path) => (self.writer)(&path, &bytes),
+            None => Ok(()),
+        };
+        self.insert_resident(key.to_owned(), bytes);
+        disk
+    }
+
+    fn insert_resident(&mut self, key: String, bytes: Vec<u8>) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push_back((key, bytes));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Whether `key` is resident in memory or present on disk.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key) || self.path_for(key).is_some_and(|p| p.exists())
+    }
+
+    /// Keys of every on-disk cache entry, sorted (empty when no directory
+    /// is configured or it does not exist yet).
+    pub fn disk_keys(&self) -> Vec<String> {
+        let Some(dir) = &self.dir else { return Vec::new() };
+        let Ok(rd) = fs::read_dir(dir) else { return Vec::new() };
+        let mut keys: Vec<String> = rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let p = e.path();
+                (p.extension().and_then(|x| x.to_str()) == Some(SNAP_EXT))
+                    .then(|| p.file_stem()?.to_str().map(str::to_owned))
+                    .flatten()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Entries currently resident in memory.
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Memory+disk lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("snapstore-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn content_key_is_stable_and_delimited() {
+        let k = content_key(&["app", "cfg", "40"]);
+        assert_eq!(k, content_key(&["app", "cfg", "40"]));
+        assert_eq!(k.len(), 16);
+        assert_ne!(content_key(&["ab", "c"]), content_key(&["a", "bc"]));
+        assert_ne!(k, content_key(&["app", "cfg", "41"]));
+    }
+
+    #[test]
+    fn memory_round_trip_and_lru_eviction() {
+        let mut s = SnapshotStore::in_memory(2);
+        s.put("a", vec![1]).unwrap();
+        s.put("b", vec![2]).unwrap();
+        assert_eq!(s.get("a"), Some(vec![1])); // refreshes `a`
+        s.put("c", vec![3]).unwrap(); // evicts `b`, the LRU entry
+        assert_eq!(s.resident(), 2);
+        assert_eq!(s.get("b"), None);
+        assert_eq!(s.get("a"), Some(vec![1]));
+        assert_eq!(s.get("c"), Some(vec![3]));
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.hits(), 3);
+    }
+
+    #[test]
+    fn disk_write_through_and_reload() {
+        let dir = tmp_dir("disk");
+        let payload = vec![9u8; 128];
+        {
+            let mut s = SnapshotStore::new(&dir, 4);
+            s.put("deadbeef00000000", payload.clone()).unwrap();
+        }
+        let mut fresh = SnapshotStore::new(&dir, 4);
+        assert!(fresh.contains("deadbeef00000000"));
+        assert_eq!(fresh.get("deadbeef00000000"), Some(payload));
+        assert_eq!(fresh.resident(), 1, "disk hit should be promoted to memory");
+        assert_eq!(fresh.disk_keys(), ["deadbeef00000000"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_degrades_to_miss() {
+        let mut s = SnapshotStore::new(tmp_dir("never-created"), 4);
+        assert_eq!(s.get("absent"), None);
+        assert!(s.disk_keys().is_empty());
+    }
+
+    #[test]
+    fn custom_writer_is_used() {
+        fn failing(_: &Path, _: &[u8]) -> io::Result<()> {
+            Err(io::Error::other("nope"))
+        }
+        let dir = tmp_dir("writer");
+        let mut s = SnapshotStore::new(&dir, 4).with_writer(failing);
+        assert!(s.put("k", vec![1]).is_err());
+        // The in-memory layer still serves the entry.
+        assert_eq!(s.get("k"), Some(vec![1]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

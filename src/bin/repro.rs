@@ -4,6 +4,10 @@
 //! repro list                           list every figure/table experiment
 //! repro run <id> [--full] [--threads N] [--faults SPEC]   run one experiment
 //! repro all [--full] [--threads N] [--faults SPEC]        run every experiment
+//! repro snapshot save <app> [--epochs N] [--full] [--out PATH]
+//! repro snapshot restore <path> [--epochs N]
+//! repro snapshot ls
+//! repro snapshot verify <path>
 //! ```
 //!
 //! `--full` selects the paper's 64-CU platform at standard workload scale
@@ -23,11 +27,28 @@
 //! show what the faults cost. Outputs are printed and archived under
 //! `results/`.
 //!
+//! `--snapshot-dir DIR` points the content-addressed warmup snapshot
+//! store (and `snapshot` subcommand) at `DIR` instead of the default
+//! `results/.snapcache/`. `--resume` enables per-grid resume journals in
+//! that directory: every completed (workload × design) cell is persisted
+//! as it finishes, and a restarted invocation skips the journaled cells —
+//! the resumed output is bit-identical to an uninterrupted run.
+//!
+//! The `snapshot` subcommand works with versioned binary simulator
+//! snapshots directly: `save` warms an application up and snapshots the
+//! GPU, `restore` rehydrates one and steps it to prove it is live, `ls`
+//! lists the cache, and `verify` checks a snapshot decodes and round-trips
+//! bit-exactly.
+//!
 //! Exit codes: 0 on success, 1 on usage errors, 2 when an experiment
 //! fails (the typed `HarnessError` is printed to stderr).
 
+use gpu_sim::gpu::Gpu;
 use harness::figures::{self, FigureResult, Preset};
-use harness::runner::FaultSetup;
+use harness::runner::{FaultSetup, RunConfig};
+use harness::{snapcache, sweeps};
+use pcstall::policy::PolicyKind;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 type FigureFn = fn(&Preset) -> FigureResult;
@@ -102,6 +123,189 @@ fn apply_faults_flag(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads the value following `flag`, rejecting a trailing flag as a value.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1).filter(|s| !s.starts_with("--"))
+}
+
+/// Applies `--snapshot-dir DIR` (points the warmup store and the
+/// `snapshot` subcommand at `DIR`) and `--resume` (enables per-grid
+/// resume journals in that directory).
+fn apply_snapshot_flags(args: &[String]) -> Result<(), String> {
+    let dir = if args.iter().any(|a| a == "--snapshot-dir") {
+        let d = flag_value(args, "--snapshot-dir")
+            .ok_or("--snapshot-dir requires a path, e.g. --snapshot-dir results/.snapcache")?;
+        let dir = PathBuf::from(d);
+        if !snapcache::set_dir(Some(dir.clone())) {
+            return Err("snapshot store already initialized; pass --snapshot-dir earlier".into());
+        }
+        dir
+    } else {
+        snapcache::default_dir()
+    };
+    if args.iter().any(|a| a == "--resume") && !sweeps::set_resume_dir(dir) {
+        return Err("resume directory already installed; pass --resume once".into());
+    }
+    Ok(())
+}
+
+/// A warmup-grade run configuration on the preset's platform (the policy
+/// never engages during warmup, so a static placeholder is exact).
+fn warmup_cfg(p: &Preset) -> RunConfig {
+    let mut cfg = RunConfig::paper(PolicyKind::Static(1700));
+    cfg.gpu = p.gpu;
+    cfg
+}
+
+/// The `repro snapshot <save|restore|ls|verify>` subcommand.
+fn snapshot_cmd(args: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: repro snapshot <save <app> [--epochs N] [--full] [--out PATH] \
+                         | restore <path> [--epochs N] | ls | verify <path>>";
+    let epochs = |default: usize| -> Result<usize, String> {
+        match args.iter().position(|a| a == "--epochs") {
+            None => Ok(default),
+            Some(_) => flag_value(args, "--epochs")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| "--epochs requires a positive integer".to_string()),
+        }
+    };
+    let fail = |msg: &str| {
+        eprintln!("{msg}");
+        ExitCode::from(EXIT_EXPERIMENT_FAILED)
+    };
+    match args.get(1).map(String::as_str) {
+        Some("save") => {
+            let Some(name) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let n = match epochs(40) {
+                Ok(n) => n,
+                Err(m) => return fail(&m),
+            };
+            let p = preset(args);
+            let app = match harness::error::app(name, p.scale) {
+                Ok(app) => app,
+                Err(e) => return fail(&e.to_string()),
+            };
+            let cfg = warmup_cfg(&p);
+            // Populate the content-addressed store (so later warm runs hit
+            // it) and report where the state landed.
+            let gpu = match snapcache::warmed_gpu(&app, &cfg, n) {
+                Ok(gpu) => gpu,
+                Err(e) => return fail(&e.to_string()),
+            };
+            let bytes = gpu.save_snapshot();
+            let key = snapcache::warmup_key(&app, &cfg, n);
+            if let Some(out) = flag_value(args, "--out") {
+                let path = PathBuf::from(out);
+                if let Err(e) = harness::report::write_atomic_bytes(&path, &bytes) {
+                    return fail(&format!("cannot write {}: {e}", path.display()));
+                }
+                println!("wrote {} ({} bytes)", path.display(), bytes.len());
+            }
+            println!(
+                "snapshot of `{name}` after {n} warmup epochs: key {key}, {} bytes, cached under {}",
+                bytes.len(),
+                snapcache::dir().unwrap_or_else(|| PathBuf::from("<memory>")).display(),
+            );
+            ExitCode::SUCCESS
+        }
+        Some("restore") => {
+            let Some(path) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let n = match epochs(4) {
+                Ok(n) => n,
+                Err(m) => return fail(&m),
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            let mut gpu = match Gpu::load_snapshot(&bytes) {
+                Ok(gpu) => gpu,
+                Err(e) => return fail(&format!("cannot decode snapshot {path}: {e}")),
+            };
+            let duration = dvfs::epoch::EpochConfig::default().duration;
+            let mut stats = gpu_sim::stats::EpochStats::empty();
+            for _ in 0..n {
+                if gpu.is_done() {
+                    break;
+                }
+                gpu.run_epoch_into(duration, &mut stats);
+            }
+            println!(
+                "restored {path}: stepped {n} epoch(s), now at {:.3} us, app {}",
+                gpu.now().as_secs_f64() * 1e6,
+                if gpu.is_done() { "complete" } else { "running" },
+            );
+            ExitCode::SUCCESS
+        }
+        Some("ls") => {
+            let Some(dir) = snapcache::dir() else {
+                println!("snapshot store is memory-only (no directory)");
+                return ExitCode::SUCCESS;
+            };
+            let Ok(rd) = std::fs::read_dir(&dir) else {
+                println!("{}: empty (directory not created yet)", dir.display());
+                return ExitCode::SUCCESS;
+            };
+            let mut rows: Vec<(String, u64)> = rd
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name().to_string_lossy().into_owned();
+                    (name.ends_with(".snap") || name.ends_with(".journal"))
+                        .then(|| (name, e.metadata().map(|m| m.len()).unwrap_or(0)))
+                })
+                .collect();
+            rows.sort();
+            println!("{} ({} entries):", dir.display(), rows.len());
+            for (name, len) in rows {
+                println!("  {len:>10}  {name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("verify") => {
+            let Some(path) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            let gpu = match Gpu::load_snapshot(&bytes) {
+                Ok(gpu) => gpu,
+                Err(e) => return fail(&format!("{path}: INVALID — {e}")),
+            };
+            let round = gpu.save_snapshot();
+            if round != bytes {
+                return fail(&format!("{path}: INVALID — decode/encode round trip differs"));
+            }
+            let sections = match snapshot::ContainerReader::parse(&bytes) {
+                Ok(c) => c.section_names().collect::<Vec<_>>().join(", "),
+                Err(e) => return fail(&format!("{path}: INVALID — {e}")),
+            };
+            println!(
+                "{path}: OK — {} bytes, sections [{sections}], {} CUs, t = {:.3} us, \
+                 round trip bit-exact",
+                bytes.len(),
+                gpu.config().n_cus,
+                gpu.now().as_secs_f64() * 1e6,
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(msg) = apply_threads_flag(&args) {
@@ -109,6 +313,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if let Err(msg) = apply_faults_flag(&args) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(msg) = apply_snapshot_flags(&args) {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
     }
@@ -165,8 +373,12 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
+        Some("snapshot") => snapshot_cmd(&args),
         _ => {
-            eprintln!("usage: repro <list|run <id>|all> [--full] [--threads N] [--faults SPEC]");
+            eprintln!(
+                "usage: repro <list|run <id>|all|snapshot <save|restore|ls|verify>> \
+                 [--full] [--threads N] [--faults SPEC] [--snapshot-dir DIR] [--resume]"
+            );
             ExitCode::FAILURE
         }
     }

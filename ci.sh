@@ -52,4 +52,17 @@ PCSTALL_THREADS=8 cargo test -q -p harness --test snapshot_resume
 echo "==> snapshot smoke bench (codec throughput + warmup-reuse grid)"
 PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench snapshot
 
+# Supervised execution at the thread-count extremes: retry/backoff/breaker
+# decisions are pure functions of counters and seeds, so a hang-injected
+# grid's recovery schedule — and every surviving cell — must be
+# bit-identical on one inline lane and on 8 workers.
+echo "==> supervised execution (watchdog/retry/breaker) @ PCSTALL_THREADS=1"
+PCSTALL_THREADS=1 cargo test -q -p harness --test supervision
+
+echo "==> supervised execution (watchdog/retry/breaker) @ PCSTALL_THREADS=8"
+PCSTALL_THREADS=8 cargo test -q -p harness --test supervision
+
+echo "==> supervision smoke bench (hang-rate ladder)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench supervision
+
 echo "CI OK"

@@ -28,9 +28,10 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// Whether the current thread is a pool worker (nested maps inline).
@@ -164,44 +165,172 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
-/// The broadcast payload of one [`WorkerPool::map_quarantine`] call. Like
-/// [`MapJob`], but a panicking item is *quarantined* — its index is
-/// recorded and the lane moves on to the next item instead of draining the
-/// cursor — so one poisoned lane no longer aborts the whole map.
-struct QuarantineJob<'a, T, R, F> {
+/// Cooperative cancellation handle handed to every [`WorkerPool::map_watchdog`]
+/// item. The watchdog thread flips it when the item's wall-clock deadline
+/// passes; a well-behaved `f` observes [`CancelToken::is_cancelled`] (or
+/// blocks in [`CancelToken::park`]) and gives up by returning `None`.
+/// Cancellation is cooperative by design: truly wedged foreign code cannot
+/// be killed from outside without leaking lane state, so the contract is
+/// that long-running work checks its token at natural boundaries (the
+/// harness checks between simulation epochs).
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation and wakes any parked waiter.
+    pub fn cancel(&self) {
+        *lock(&self.flag) = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        *lock(&self.flag)
+    }
+
+    /// Blocks until cancelled or until `cap` elapses; returns `true` iff
+    /// the wait ended in cancellation. This is the hook chaos-injected
+    /// "hangs" park on, so a watchdog can reclaim the lane promptly.
+    pub fn park(&self, cap: Duration) -> bool {
+        let deadline = Instant::now() + cap;
+        let mut g = lock(&self.flag);
+        while !*g {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            g = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        true
+    }
+
+    /// Clears a previous cancellation before a retry.
+    fn reset(&self) {
+        *lock(&self.flag) = false;
+    }
+}
+
+/// Per-item start stamp value meaning "finished" (no longer watched).
+const FINISHED: u64 = u64::MAX;
+/// Watchdog sweep interval.
+const WATCHDOG_POLL: Duration = Duration::from_millis(2);
+
+/// Milliseconds since the process-local monotonic epoch (heartbeat clock
+/// for lane stamps; offset by +1 when stored so 0 can mean "not started").
+fn now_ms() -> u64 {
+    static CLOCK: OnceLock<Instant> = OnceLock::new();
+    CLOCK.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Joins the watchdog thread on drop (including unwind paths), so a
+/// panicking map never leaks a poller holding `Arc`s.
+struct WatchdogGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns the deadline poller: every [`WATCHDOG_POLL`] it cancels the token
+/// of any in-flight item whose heartbeat stamp is older than `deadline`.
+/// The poller holds its own `Arc`s, so it is safe independent of the job's
+/// stack frame.
+fn spawn_watchdog(
+    tokens: &Arc<Vec<CancelToken>>,
+    started: &Arc<Vec<AtomicU64>>,
+    deadline: Duration,
+) -> WatchdogGuard {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tokens, started, stop2) = (Arc::clone(tokens), Arc::clone(started), Arc::clone(&stop));
+    let deadline_ms = (deadline.as_millis() as u64).max(1);
+    let handle = thread::Builder::new()
+        .name("exec-watchdog".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                let now = now_ms();
+                for (i, stamp) in started.iter().enumerate() {
+                    let v = stamp.load(Ordering::Acquire);
+                    if v != 0 && v != FINISHED && now.saturating_sub(v - 1) >= deadline_ms {
+                        tokens[i].cancel();
+                    }
+                }
+                thread::sleep(WATCHDOG_POLL);
+            }
+        })
+        .expect("spawn exec watchdog");
+    WatchdogGuard { stop, handle: Some(handle) }
+}
+
+/// The broadcast payload of one [`WorkerPool::map_watchdog`] (and, through
+/// it, [`WorkerPool::map_quarantine`]) call. Like [`MapJob`], but a lane
+/// losing its item — to a panic *or* to a watchdog-cancelled timeout — is
+/// *quarantined*: the index is recorded and the lane moves on to the next
+/// item instead of draining the cursor, so one poisoned or hung lane no
+/// longer stalls the whole map.
+struct WatchdogJob<'a, T, R, F> {
     items: &'a [T],
     slots: &'a [Mutex<Option<R>>],
+    tokens: &'a [CancelToken],
+    /// Heartbeats: 0 = not started, [`FINISHED`] = done, else
+    /// `now_ms() + 1` at item start.
+    started: &'a [AtomicU64],
     f: &'a F,
     next: AtomicUsize,
     tickets: AtomicUsize,
     cap: usize,
     /// Indices whose first attempt panicked; resubmitted by the caller.
     failed: Mutex<Vec<usize>>,
+    /// Indices whose first attempt gave up after cancellation; resubmitted
+    /// by the caller exactly like panics.
+    timed_out: Mutex<Vec<usize>>,
 }
 
-impl<T, R, F> QuarantineJob<'_, T, R, F>
+impl<T, R, F> WatchdogJob<'_, T, R, F>
 where
     T: Sync,
     R: Send,
-    F: Fn(&T) -> R + Sync,
+    F: Fn(&T, &CancelToken) -> Option<R> + Sync,
 {
     fn run_items(&self) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             let Some(item) = self.items.get(i) else { break };
-            match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
-                Ok(r) => *lock(&self.slots[i]) = Some(r),
+            self.started[i].store(now_ms() + 1, Ordering::Release);
+            let r = catch_unwind(AssertUnwindSafe(|| (self.f)(item, &self.tokens[i])));
+            self.started[i].store(FINISHED, Ordering::Release);
+            match r {
+                Ok(Some(r)) => *lock(&self.slots[i]) = Some(r),
+                Ok(None) => lock(&self.timed_out).push(i),
                 Err(_) => lock(&self.failed).push(i),
             }
         }
     }
 }
 
-impl<T, R, F> RunJob for QuarantineJob<'_, T, R, F>
+impl<T, R, F> RunJob for WatchdogJob<'_, T, R, F>
 where
     T: Sync,
     R: Send,
-    F: Fn(&T) -> R + Sync,
+    F: Fn(&T, &CancelToken) -> Option<R> + Sync,
 {
     fn run_worker(&self) {
         if self.tickets.fetch_add(1, Ordering::Relaxed) + 1 >= self.cap {
@@ -209,6 +338,19 @@ where
         }
         self.run_items();
     }
+}
+
+/// What one [`WorkerPool::map_watchdog`] call had to do beyond a clean map.
+#[derive(Debug, Clone, Default)]
+pub struct WatchdogReport {
+    /// Indices resubmitted serially after the parallel pass (first attempt
+    /// panicked or timed out), in the deterministic (sorted) retry order.
+    pub retried: Vec<usize>,
+    /// Timeout give-ups observed across both passes (a retried item that
+    /// times out again counts twice).
+    pub timeout_events: usize,
+    /// Indices still without a result after their retry (`out[i] == None`).
+    pub timed_out: Vec<usize>,
 }
 
 /// The payload of one [`WorkerPool::broadcast`] call: every pool thread
@@ -483,6 +625,10 @@ impl WorkerPool {
     /// retries succeed, the results are bit-identical to a panic-free
     /// [`WorkerPool::map_capped`] at any thread count.
     ///
+    /// Implemented on [`WorkerPool::map_watchdog`] with no deadline, so
+    /// panic quarantine and timeout quarantine share one deterministic
+    /// resubmission path.
+    ///
     /// # Panics
     ///
     /// Only if an item panics on its *second* attempt too — a persistent
@@ -493,47 +639,90 @@ impl WorkerPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        let (out, report) = self.map_watchdog(items, cap, None, |item, _token| Some(f(item)));
+        let out = out
+            .into_iter()
+            .map(|r| r.expect("no deadline, so every item completed or was resubmitted"))
+            .collect();
+        (out, report.retried.len())
+    }
+
+    /// Like [`WorkerPool::map_quarantine`], but with wall-clock supervision:
+    /// each item gets a [`CancelToken`], and a watchdog thread cancels any
+    /// item still in flight `deadline` after its lane picked it up. An item
+    /// returns `Some(r)` on success or `None` to give up (typically after
+    /// observing cancellation); lanes that lose their item — to a panic or
+    /// a timeout — are recovered exactly like the panic-quarantine path,
+    /// and the lost items are resubmitted once, serially, on the calling
+    /// thread in sorted (deterministic) order with fresh tokens. Output
+    /// slot `i` is `None` only if item `i` produced `None` on both
+    /// attempts; for a deterministic `f`, the `Some` set is bit-identical
+    /// across thread counts.
+    ///
+    /// With `deadline: None` no watchdog runs and tokens are never
+    /// cancelled (pure panic quarantine).
+    ///
+    /// # Panics
+    ///
+    /// Only if an item panics on its second (serial) attempt.
+    pub fn map_watchdog<T, R, F>(
+        &self,
+        items: &[T],
+        cap: usize,
+        deadline: Option<Duration>,
+        f: F,
+    ) -> (Vec<Option<R>>, WatchdogReport)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, &CancelToken) -> Option<R> + Sync,
+    {
         let cap = cap.clamp(1, self.threads);
-        if cap == 1 || items.len() <= 1 || in_worker() {
-            let mut resubmitted = 0;
-            let out = items
-                .iter()
-                .map(|item| {
-                    catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|_| {
-                        resubmitted += 1;
-                        f(item)
-                    })
-                })
-                .collect();
-            return (out, resubmitted);
-        }
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        let job = QuarantineJob {
+        let tokens: Arc<Vec<CancelToken>> =
+            Arc::new(items.iter().map(|_| CancelToken::new()).collect());
+        let started: Arc<Vec<AtomicU64>> =
+            Arc::new(items.iter().map(|_| AtomicU64::new(0)).collect());
+        // The guard joins the poller on every exit path, including unwinds.
+        let _watchdog = deadline.map(|d| spawn_watchdog(&tokens, &started, d));
+        let job = WatchdogJob {
             items,
             slots: &slots,
+            tokens: &tokens,
+            started: &started,
             f: &f,
             next: AtomicUsize::new(0),
             tickets: AtomicUsize::new(0),
             cap,
             failed: Mutex::new(Vec::new()),
+            timed_out: Mutex::new(Vec::new()),
         };
-        let submit = lock(&self.submit);
-        {
-            let erased: *const (dyn RunJob + '_) = &job;
-            // SAFETY (lifetime erasure): identical to `map_capped` — the
-            // quiesce block below retracts the handle and waits for
-            // `running == 0` before `job` can drop.
-            #[allow(clippy::missing_transmute_annotations)]
-            let handle = JobHandle(unsafe { std::mem::transmute(erased) });
-            let mut st = lock(&self.shared.state);
-            st.job = Some(handle);
-            st.generation += 1;
-            self.shared.work_cv.notify_all();
-        }
+        // Serial shapes (cap 1, ≤1 item, nested-in-worker) skip the
+        // broadcast but run the same job code, so quarantine and watchdog
+        // semantics are identical either way.
+        let parallel = cap > 1 && items.len() > 1 && !in_worker();
+        let submit = if parallel {
+            let submit = lock(&self.submit);
+            {
+                let erased: *const (dyn RunJob + '_) = &job;
+                // SAFETY (lifetime erasure): identical to `map_capped` — the
+                // quiesce block below retracts the handle and waits for
+                // `running == 0` before `job` can drop.
+                #[allow(clippy::missing_transmute_annotations)]
+                let handle = JobHandle(unsafe { std::mem::transmute(erased) });
+                let mut st = lock(&self.shared.state);
+                st.job = Some(handle);
+                st.generation += 1;
+                self.shared.work_cv.notify_all();
+            }
+            Some(submit)
+        } else {
+            None
+        };
         let was_worker = IN_WORKER.with(|w| w.replace(true));
         let mine = catch_unwind(AssertUnwindSafe(|| job.run_items()));
         IN_WORKER.with(|w| w.set(was_worker));
-        {
+        if parallel {
             let mut st = lock(&self.shared.state);
             st.job = None;
             while st.running > 0 {
@@ -544,24 +733,41 @@ impl WorkerPool {
         if let Err(p) = mine {
             resume_unwind(p);
         }
-        // Resubmit quarantined items serially; sorted so the retry order
-        // (and any second-attempt panic) is deterministic.
-        let mut failed = lock(&job.failed).split_off(0);
-        failed.sort_unstable();
-        let resubmitted = failed.len();
-        for i in failed {
-            *lock(&slots[i]) = Some(f(&items[i]));
+        // Resubmit lost items — panicked and timed-out alike — serially;
+        // sorted so the retry order (and any second-attempt panic) is
+        // deterministic regardless of which lanes lost them.
+        let mut retried = lock(&job.failed).split_off(0);
+        let first_timeouts = {
+            let t = lock(&job.timed_out);
+            retried.extend(t.iter().copied());
+            t.len()
+        };
+        retried.sort_unstable();
+        let mut timeout_events = first_timeouts;
+        let mut timed_out = Vec::new();
+        for &i in &retried {
+            // Unstamp before resetting the token so the watchdog cannot
+            // cancel the fresh attempt based on the stale first-attempt
+            // stamp.
+            started[i].store(0, Ordering::Release);
+            tokens[i].reset();
+            started[i].store(now_ms() + 1, Ordering::Release);
+            let r = f(&items[i], &tokens[i]);
+            started[i].store(FINISHED, Ordering::Release);
+            match r {
+                Some(r) => *lock(&slots[i]) = Some(r),
+                None => {
+                    timeout_events += 1;
+                    timed_out.push(i);
+                }
+            }
         }
         drop(job);
         let out = slots
             .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .expect("every item mapped or resubmitted")
-            })
+            .map(|s| s.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
             .collect();
-        (out, resubmitted)
+        (out, WatchdogReport { retried, timeout_events, timed_out })
     }
 }
 
@@ -885,5 +1091,131 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(pool.map(&empty, |&x| x).is_empty());
         assert_eq!(pool.map(&[7u32], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn cancel_token_park_and_reset() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.park(Duration::from_millis(5)), "un-cancelled park times out");
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.park(Duration::from_secs(60)), "cancelled park returns immediately");
+        t.reset();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn watchdog_recovers_hung_lane_via_resubmission() {
+        // Item 3 hangs (parks on its token) on the first attempt only; the
+        // watchdog must cancel it, the lane must survive, and the
+        // deterministic resubmission must complete it.
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..8).collect();
+        let (out, report) =
+            pool.map_watchdog(&items, usize::MAX, Some(Duration::from_millis(40)), |&i, token| {
+                if i == 3 && ATTEMPTS.fetch_add(1, Ordering::Relaxed) == 0 {
+                    // Simulated hang: blocks until the watchdog cancels it
+                    // (the long cap is a test-failure backstop).
+                    return if token.park(Duration::from_secs(30)) { None } else { Some(0) };
+                }
+                Some(i * 7)
+            });
+        let expect: Vec<Option<usize>> = (0..8).map(|i| Some(i * 7)).collect();
+        assert_eq!(out, expect, "hung item recovered on retry");
+        assert_eq!(report.retried, vec![3]);
+        assert_eq!(report.timeout_events, 1);
+        assert!(report.timed_out.is_empty());
+        // The pool remains usable afterwards.
+        assert_eq!(pool.map(&items, |&i| i + 1)[7], 8);
+    }
+
+    #[test]
+    fn watchdog_reports_persistently_hung_item() {
+        // An item that hangs on every attempt ends as `None`, with the
+        // rest of the map bit-identical to a clean run — one wedged cell
+        // costs its slot, never the grid.
+        let pool = WorkerPool::new(3);
+        let items: Vec<usize> = (0..6).collect();
+        let (out, report) =
+            pool.map_watchdog(&items, usize::MAX, Some(Duration::from_millis(30)), |&i, token| {
+                if i == 2 {
+                    token.park(Duration::from_secs(30));
+                    return None;
+                }
+                Some(i + 100)
+            });
+        for (i, r) in out.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(*r, None);
+            } else {
+                assert_eq!(*r, Some(i + 100));
+            }
+        }
+        assert_eq!(report.retried, vec![2]);
+        assert_eq!(report.timed_out, vec![2]);
+        assert_eq!(report.timeout_events, 2, "both attempts timed out");
+    }
+
+    #[test]
+    fn watchdog_survivors_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..31).collect();
+        let f = |&i: &u64, token: &CancelToken| {
+            if i == 11 {
+                token.park(Duration::from_secs(30));
+                return None;
+            }
+            Some(i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(13))
+        };
+        let mut reference: Option<Vec<Option<u64>>> = None;
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let (out, report) =
+                pool.map_watchdog(&items, usize::MAX, Some(Duration::from_millis(25)), f);
+            assert_eq!(report.timed_out, vec![11], "threads={threads}");
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_mixed_panic_and_timeout_resubmission_is_sorted() {
+        // Panics and timeouts funnel into one deterministic retry order.
+        static ATTEMPTS: [AtomicUsize; 12] = [const { AtomicUsize::new(0) }; 12];
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..12).collect();
+        let (out, report) =
+            pool.map_watchdog(&items, usize::MAX, Some(Duration::from_millis(40)), |&i, token| {
+                let first = ATTEMPTS[i].fetch_add(1, Ordering::Relaxed) == 0;
+                match i {
+                    9 if first => panic!("transient panic"),
+                    4 if first => {
+                        token.park(Duration::from_secs(30));
+                        None
+                    }
+                    _ => Some(i),
+                }
+            });
+        assert_eq!(report.retried, vec![4, 9], "sorted union of panicked and timed out");
+        assert_eq!(out, (0..12).map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_quarantine_without_deadline_never_times_out() {
+        // The quarantine wrapper must not inherit any watchdog behavior: a
+        // slow-but-finite item completes untouched.
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..4).collect();
+        let (out, resubmitted) = pool.map_quarantine(&items, usize::MAX, |&i| {
+            if i == 1 {
+                thread::sleep(Duration::from_millis(20));
+            }
+            i * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        assert_eq!(resubmitted, 0);
     }
 }

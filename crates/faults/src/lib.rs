@@ -29,7 +29,7 @@
 
 use gpu_sim::stats::EpochStats;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -49,6 +49,9 @@ mod channel {
     pub const ACT_DELAY: u64 = 0x06;
     pub const CLAMP: u64 = 0x07;
     pub const CHAOS: u64 = 0x08;
+    pub const HANG: u64 = 0x09;
+    pub const SLOW: u64 = 0x0A;
+    pub const LIVELOCK: u64 = 0x0B;
 }
 
 /// splitmix64 finalizer: a high-quality 64-bit mixing permutation.
@@ -108,6 +111,18 @@ pub struct FaultConfig {
     pub clamp_epochs: u32,
     /// Number of lowest frequency states that stay legal while clamped.
     pub clamp_states: u32,
+    /// Per-grid-cell probability that the cell's lane hangs (parks until a
+    /// watchdog cancels it). A *harness-level* chaos channel consumed via
+    /// [`ChaosPlan`], not by the in-loop injector.
+    pub hang_rate: f64,
+    /// Per-grid-cell probability that the cell's lane is slow (stalls
+    /// [`FaultConfig::slow_ms`] wall-clock milliseconds before running).
+    pub slow_rate: f64,
+    /// Wall-clock stall of a slow lane, in milliseconds.
+    pub slow_ms: u64,
+    /// Per-grid-cell probability that the cell's lane livelocks (burns CPU
+    /// without progress until cancelled).
+    pub livelock_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -125,6 +140,10 @@ impl Default for FaultConfig {
             clamp_rate: 0.0,
             clamp_epochs: 0,
             clamp_states: 0,
+            hang_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ms: 0,
+            livelock_rate: 0.0,
         }
     }
 }
@@ -149,10 +168,20 @@ impl FaultConfig {
             clamp_rate: rate / 10.0,
             clamp_epochs: 5,
             clamp_states: 3,
+            // Chaos channels are opt-in (explicit keys), not part of the
+            // proportional profile: hanging whole lanes is a supervision
+            // stressor, not a control-loop degradation.
+            hang_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ms: 0,
+            livelock_rate: 0.0,
         }
     }
 
-    /// Whether this configuration can never perturb anything.
+    /// Whether this configuration can never perturb the *control loop*.
+    /// The harness-level chaos channels (`hang`/`slow`/`livelock`) are
+    /// deliberately excluded: they stress the supervision layer around the
+    /// loop, not the loop itself, and are consumed via [`ChaosPlan`].
     pub fn is_noop(&self) -> bool {
         self.telemetry_drop == 0.0
             && self.telemetry_stale == 0.0
@@ -169,7 +198,8 @@ impl FaultConfig {
     ///
     /// `rate`, `seed`, `drop`, `stale`, `noise`, `noise_bound`,
     /// `act_drop`, `act_delay`, `settle_ns`, `relock_ns`, `clamp`,
-    /// `clamp_epochs`, `clamp_states`.
+    /// `clamp_epochs`, `clamp_states`, `hang`, `slow`, `slow_ms`,
+    /// `livelock`.
     ///
     /// # Errors
     ///
@@ -221,6 +251,10 @@ impl FaultConfig {
                 "clamp" => cfg.clamp_rate = prob(k, v)?,
                 "clamp_epochs" => cfg.clamp_epochs = int(k, v)? as u32,
                 "clamp_states" => cfg.clamp_states = int(k, v)? as u32,
+                "hang" => cfg.hang_rate = prob(k, v)?,
+                "slow" => cfg.slow_rate = prob(k, v)?,
+                "slow_ms" => cfg.slow_ms = int(k, v)?,
+                "livelock" => cfg.livelock_rate = prob(k, v)?,
                 other => {
                     return Err(FaultSpecError(format!("unknown fault key `{other}`")));
                 }
@@ -479,6 +513,109 @@ impl PanicPlan {
     }
 }
 
+/// One injected harness-level chaos behavior for a grid cell's lane.
+///
+/// The plan only *decides* (deterministically); the harness *executes* the
+/// behavior — hanging parks on the lane's cancel token, slowness stalls a
+/// bounded wall-clock interval, livelock spins checking for cancellation —
+/// so this crate stays free of wall-clock and threading concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The lane blocks indefinitely (until a watchdog cancels it).
+    Hang,
+    /// The lane stalls for the plan's `slow_ms` before doing its work.
+    Slow,
+    /// The lane busy-loops without progress (until cancelled).
+    Livelock,
+}
+
+/// Fire counter meaning "every attempt" (the event never disarms).
+pub const CHAOS_PERSISTENT: u32 = u32::MAX;
+
+/// Seeded, deterministic per-item chaos schedule for a supervised grid.
+///
+/// Which items misbehave, and how, is a pure function of `(seed, item,
+/// channel)` through the same counter RNG as every other fault decision —
+/// bit-identical across thread counts and reruns. Each armed event fires a
+/// configured number of attempts (default once, so a retried item
+/// succeeds), or forever with [`CHAOS_PERSISTENT`] for circuit-breaker
+/// coverage. [`ChaosPlan::take`] is the consumption point: first-come
+/// multi-thread access is safe because each item index is its own key.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    armed: Mutex<BTreeMap<usize, (ChaosEvent, u32)>>,
+    slow_ms: u64,
+}
+
+impl ChaosPlan {
+    /// Draws the schedule for `n_items` grid cells from `cfg`'s chaos
+    /// rates (`hang_rate` shadows `slow_rate` shadows `livelock_rate` on
+    /// the same index, each drawn on its own channel). Every armed event
+    /// fires once.
+    pub fn from_config(cfg: &FaultConfig, n_items: usize) -> Self {
+        let mut armed = BTreeMap::new();
+        for i in 0..n_items {
+            let idx = i as u64;
+            let ev = if cfg.hang_rate > 0.0 && unit(cfg.seed, idx, channel::HANG, 0) < cfg.hang_rate
+            {
+                Some(ChaosEvent::Hang)
+            } else if cfg.slow_rate > 0.0 && unit(cfg.seed, idx, channel::SLOW, 0) < cfg.slow_rate {
+                Some(ChaosEvent::Slow)
+            } else if cfg.livelock_rate > 0.0
+                && unit(cfg.seed, idx, channel::LIVELOCK, 0) < cfg.livelock_rate
+            {
+                Some(ChaosEvent::Livelock)
+            } else {
+                None
+            };
+            if let Some(ev) = ev {
+                armed.insert(i, (ev, 1));
+            }
+        }
+        ChaosPlan { armed: Mutex::new(armed), slow_ms: cfg.slow_ms }
+    }
+
+    /// An explicit schedule: `(item, event, fires)` triples (`fires` =
+    /// [`CHAOS_PERSISTENT`] never disarms). For tests that need exact
+    /// shapes rather than sampled rates.
+    pub fn with_events(
+        events: impl IntoIterator<Item = (usize, ChaosEvent, u32)>,
+        slow_ms: u64,
+    ) -> Self {
+        ChaosPlan {
+            armed: Mutex::new(events.into_iter().map(|(i, ev, n)| (i, (ev, n))).collect()),
+            slow_ms,
+        }
+    }
+
+    /// Consumes one firing for `item`: returns the armed event and
+    /// decrements its fire budget (persistent events never exhaust).
+    /// `None` once disarmed or never armed.
+    pub fn take(&self, item: usize) -> Option<ChaosEvent> {
+        let mut armed = self.armed.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (ev, fires) = armed.get_mut(&item)?;
+        let ev = *ev;
+        if *fires != CHAOS_PERSISTENT {
+            *fires -= 1;
+            if *fires == 0 {
+                armed.remove(&item);
+            }
+        }
+        Some(ev)
+    }
+
+    /// Items still armed.
+    pub fn remaining(&self) -> usize {
+        self.armed.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Wall-clock stall a [`ChaosEvent::Slow`] lane should execute, in
+    /// milliseconds.
+    pub fn slow_ms(&self) -> u64 {
+        self.slow_ms
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,5 +765,70 @@ mod tests {
         assert_eq!(a.remaining(), b.remaining());
         assert!(a.remaining() > 0, "at 50% something should arm");
         assert_eq!(PanicPlan::seeded(1, 0.0, 64).remaining(), 0);
+    }
+
+    #[test]
+    fn parse_chaos_keys() {
+        let cfg = FaultConfig::parse("hang=0.2,slow=0.1,slow_ms=50,livelock=0.05,seed=3").unwrap();
+        assert!((cfg.hang_rate - 0.2).abs() < 1e-12);
+        assert!((cfg.slow_rate - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.slow_ms, 50);
+        assert!((cfg.livelock_rate - 0.05).abs() < 1e-12);
+        assert!(cfg.is_noop(), "chaos channels are not loop faults");
+        assert!(FaultConfig::parse("hang=1.5").is_err());
+    }
+
+    #[test]
+    fn chaos_plan_is_seed_deterministic_and_rate_scaled() {
+        let cfg = FaultConfig { seed: 9, hang_rate: 0.35, ..FaultConfig::default() };
+        let a = ChaosPlan::from_config(&cfg, 200);
+        let b = ChaosPlan::from_config(&cfg, 200);
+        assert_eq!(a.remaining(), b.remaining());
+        let armed = a.remaining() as f64 / 200.0;
+        assert!((armed - 0.35).abs() < 0.1, "armed fraction {armed} far from rate");
+        assert_eq!(
+            ChaosPlan::from_config(&FaultConfig::default(), 200).remaining(),
+            0,
+            "zero rates arm nothing"
+        );
+        // Same seed, different channels: hang and livelock schedules differ.
+        let h = ChaosPlan::from_config(
+            &FaultConfig { seed: 9, hang_rate: 0.3, ..FaultConfig::default() },
+            200,
+        );
+        let l = ChaosPlan::from_config(
+            &FaultConfig { seed: 9, livelock_rate: 0.3, ..FaultConfig::default() },
+            200,
+        );
+        let hit =
+            |p: &ChaosPlan| -> Vec<usize> { (0..200).filter(|&i| p.take(i).is_some()).collect() };
+        assert_ne!(hit(&h), hit(&l), "channels must decorrelate");
+    }
+
+    #[test]
+    fn chaos_plan_take_decrements_and_persists() {
+        let plan = ChaosPlan::with_events(
+            [(1, ChaosEvent::Hang, 2), (4, ChaosEvent::Slow, CHAOS_PERSISTENT)],
+            25,
+        );
+        assert_eq!(plan.slow_ms(), 25);
+        assert_eq!(plan.take(0), None, "unarmed item");
+        assert_eq!(plan.take(1), Some(ChaosEvent::Hang));
+        assert_eq!(plan.take(1), Some(ChaosEvent::Hang), "second fire of a 2-shot");
+        assert_eq!(plan.take(1), None, "exhausted");
+        for _ in 0..10 {
+            assert_eq!(plan.take(4), Some(ChaosEvent::Slow), "persistent never disarms");
+        }
+        assert_eq!(plan.remaining(), 1);
+    }
+
+    #[test]
+    fn chaos_hang_shadows_slow_on_same_index() {
+        // With both rates at 1.0 every index arms as Hang (priority order).
+        let cfg = FaultConfig { seed: 1, hang_rate: 1.0, slow_rate: 1.0, ..FaultConfig::default() };
+        let plan = ChaosPlan::from_config(&cfg, 16);
+        for i in 0..16 {
+            assert_eq!(plan.take(i), Some(ChaosEvent::Hang));
+        }
     }
 }

@@ -373,6 +373,14 @@ impl Cu {
         self.period = freq.period();
     }
 
+    /// Instructions committed since the last [`Cu::begin_epoch`]. Within a
+    /// run that never crosses an epoch boundary this is monotone, which
+    /// makes it the retired-instruction watermark for the liveness meter
+    /// in [`crate::gpu::Gpu::run_metered`].
+    pub fn epoch_committed(&self) -> u64 {
+        self.e_committed
+    }
+
     /// Whether any live wavefront is resident.
     pub fn has_work(&self) -> bool {
         self.slots.iter().any(|w| w.active && !w.finished)

@@ -56,7 +56,7 @@ pub mod wavefront;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use crate::config::GpuConfig;
-    pub use crate::gpu::Gpu;
+    pub use crate::gpu::{Gpu, ProgressMeter, RunOutcome};
     pub use crate::isa::{Op, Pc};
     pub use crate::kernel::{AddressPattern, App, Kernel, KernelBuilder};
     pub use crate::stats::{CuEpochStats, EpochStats, WfEpochStats};

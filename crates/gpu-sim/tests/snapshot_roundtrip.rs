@@ -82,7 +82,7 @@ fn roundtrip_at_time_zero_and_after_completion() {
     assert_eq!(restored.save_snapshot(), gpu.save_snapshot());
     // Completed GPU (event queue drained, completion recorded).
     let mut gpu = Gpu::new(GpuConfig::tiny(), compute_app(8));
-    gpu.run_to_completion(Femtos::from_micros(1000));
+    assert!(gpu.run_to_outcome(Femtos::from_micros(1000)).is_completed());
     let restored = Gpu::load_snapshot(&gpu.save_snapshot()).unwrap();
     assert_eq!(restored.completion_time(), gpu.completion_time());
     assert!(restored.is_done());

@@ -43,6 +43,29 @@ pub fn fault_override() -> Option<FaultSetup> {
     FAULT_OVERRIDE.get().copied()
 }
 
+/// Supervision knobs the `repro` CLI can override (`--deadline`,
+/// `--max-retries`); unset fields keep the figure's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SuperviseOverride {
+    /// Per-attempt watchdog deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Harness-level retry rounds.
+    pub max_retries: Option<u32>,
+}
+
+static SUPERVISE_OVERRIDE: OnceLock<SuperviseOverride> = OnceLock::new();
+
+/// Installs process-wide supervision overrides, latched by the first
+/// caller like [`set_fault_override`]. Returns `false` if already set.
+pub fn set_supervise_override(over: SuperviseOverride) -> bool {
+    SUPERVISE_OVERRIDE.set(over).is_ok()
+}
+
+/// The installed supervision override, if any.
+pub fn supervise_override() -> Option<SuperviseOverride> {
+    SUPERVISE_OVERRIDE.get().copied()
+}
+
 /// Scale preset for the experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Preset {
@@ -906,6 +929,102 @@ pub fn resilience(preset: &Preset) -> FigureResult {
             format!("Raw curves archived at {}.", json_path.display()),
             "Cells read: savings (perf loss, fallback epochs engaged). Savings should \
              degrade smoothly — not cliff — as the fault rate rises."
+                .into(),
+        ],
+    })
+}
+
+/// The supervision study: grid completion under injected hang chaos
+/// (DESIGN.md §10). A hang-rate ladder arms [`faults::ChaosPlan`]s over
+/// the grid and runs every point through the supervised executor —
+/// watchdog deadlines, deterministic retry/backoff, per-app circuit
+/// breaking — proving grids complete with bounded wall-clock and that
+/// every surviving cell stays bit-identical to the fault-free grid.
+///
+/// The raw points are archived as `results/supervision.json` through the
+/// atomic writer. `PCSTALL_BENCH_SMOKE=1` shrinks the sweep to 2 apps ×
+/// 2 policies × 2 rates for CI. `repro --deadline`/`--max-retries`
+/// override the supervision knobs via [`set_supervise_override`].
+pub fn supervision(preset: &Preset) -> FigureResult {
+    use crate::studies::supervision_sweep;
+    use crate::supervised::SuperviseConfig;
+
+    let smoke = matches!(std::env::var("PCSTALL_BENCH_SMOKE"), Ok(v) if !v.is_empty() && v != "0");
+    let names: &[&str] =
+        if smoke { &["comd", "xsbench"] } else { &["comd", "xsbench", "dgemm", "hacc"] };
+    let apps =
+        names.iter().map(|n| error::app(n, preset.scale)).collect::<Result<Vec<App>, _>>()?;
+    let policies: Vec<PolicyKind> = if smoke {
+        vec![PolicyKind::Static(1700), PolicyKind::PcStall(PcStallConfig::default())]
+    } else {
+        vec![
+            PolicyKind::Static(1700),
+            PolicyKind::Reactive(CuEstimator::Stall),
+            PolicyKind::PcStall(PcStallConfig::default()),
+        ]
+    };
+    let rates: &[f64] = if smoke { &[0.0, 0.20] } else { &[0.0, 0.01, 0.05, 0.20] };
+    let over = supervise_override().unwrap_or_default();
+    // Seed 97 arms hang events at both the smoke and full grid sizes
+    // (seeded channel draws are deterministic, so an unlucky seed would
+    // demonstrate nothing at low rates).
+    let scfg = SuperviseConfig {
+        deadline: Some(std::time::Duration::from_millis(over.deadline_ms.unwrap_or(5_000))),
+        max_retries: over.max_retries.unwrap_or(3),
+        seed: fault_override().map_or(97, |s| s.faults.seed),
+        ..SuperviseConfig::default()
+    };
+    let mut base = preset.base_cfg(PolicyKind::Static(1700), 1);
+    base.objective = Objective::MinEd2p;
+    let curves = supervision_sweep(&apps, &policies, &base, rates, &scfg, preset.threads);
+
+    let json_path = results_path("supervision.json");
+    write_atomic(&json_path, &curves.to_json()).map_err(|e| error::io_at(&json_path, e))?;
+
+    let n_cells = (apps.len() * policies.len()) as u64;
+    let rows = curves
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                pct(p.rate),
+                p.armed.to_string(),
+                p.timeouts.to_string(),
+                p.retries.to_string(),
+                p.recovered.to_string(),
+                format!("{}/{}", p.breaker_trips, p.breaker_skips),
+                format!("{}/{}", p.completed, n_cells),
+                if p.matches_clean { "yes" } else { "NO" }.to_string(),
+                p.wall_ms.to_string(),
+            ]
+        })
+        .collect();
+    Ok(FigureOutput {
+        id: "Supervision".into(),
+        title: "Grid completion under injected hang chaos (supervised executor)".into(),
+        headers: vec![
+            "hang rate".into(),
+            "armed".into(),
+            "timeouts".into(),
+            "retries".into(),
+            "recovered".into(),
+            "trips/skips".into(),
+            "completed".into(),
+            "survivors clean".into(),
+            "wall ms".into(),
+        ],
+        rows,
+        notes: vec![
+            format!(
+                "Deadline {} ms per attempt, {} retry rounds, breaker K={}, seed {}.",
+                scfg.deadline.map_or(0, |d| d.as_millis()),
+                scfg.max_retries,
+                scfg.breaker_k,
+                scfg.seed
+            ),
+            format!("Raw points archived at {}.", json_path.display()),
+            "`survivors clean` pins the integrity invariant: every completed cell is \
+             bit-identical to the same cell of a chaos-free, unsupervised grid."
                 .into(),
         ],
     })

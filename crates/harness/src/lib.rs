@@ -13,6 +13,9 @@
 //! * [`sweeps`] — parallel (workload × design) grids, with per-grid
 //!   resume journals (a killed sweep restarts without redoing completed
 //!   cells, bit-identically).
+//! * [`supervised`] — watchdogged grids: per-cell deadlines, deterministic
+//!   retry/backoff, per-app circuit breaking and preemption snapshots
+//!   (DESIGN.md §10).
 //! * [`snapcache`] — the content-addressed warmup snapshot store: warmup
 //!   prefixes are restored from versioned binary snapshots instead of
 //!   re-simulated.
@@ -42,9 +45,11 @@ pub mod runner;
 pub mod session;
 pub mod snapcache;
 pub mod studies;
+pub mod supervised;
 pub mod sweeps;
 
 pub use error::HarnessError;
 pub use figures::{FigureOutput, Preset};
 pub use runner::{run, run_with_sensitivity_trace, RunConfig, RunResult};
 pub use session::{RunObserver, SensitivityTrace, Session};
+pub use supervised::{run_grid_supervised, SuperviseConfig, SupervisedGrid};

@@ -40,13 +40,21 @@ pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(format!(".tmp{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    let write_then_rename = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(contents)?;
-        // Data must be durable before the rename publishes the name.
-        f.sync_all()?;
-        fs::rename(&tmp, path)
-    })();
+    // Transient kernel hiccups (Interrupted/WouldBlock-class) get a few
+    // short retries before the failure is allowed to surface; permanent
+    // errors still propagate on the first attempt.
+    let write_then_rename = supervise::edge::retry_transient(
+        3,
+        &supervise::Backoff { base_ms: 1, cap_ms: 8 },
+        0,
+        || {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(contents)?;
+            // Data must be durable before the rename publishes the name.
+            f.sync_all()?;
+            fs::rename(&tmp, path)
+        },
+    );
     if write_then_rename.is_err() {
         let _ = fs::remove_file(&tmp);
     }

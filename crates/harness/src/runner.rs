@@ -201,24 +201,62 @@ impl RunResult {
 /// Runs `app` to completion (or the epoch cap) under `cfg`'s policy.
 /// Oracle sampling uses the process-global [`exec::WorkerPool`].
 pub fn run(app: &App, cfg: &RunConfig) -> RunResult {
-    run_inner(app, cfg, false, None)
+    run_inner(app, cfg, false, None, None).expect("no cancel predicate, so the run cannot preempt")
+}
+
+/// What a deadline-preempted run leaves behind: enough to avoid redoing
+/// the simulated prefix. The GPU snapshot is the PR-4 versioned format
+/// ([`gpu_sim::Gpu::save_snapshot`]) and restores bit-exactly; observer
+/// and policy state are *not* captured, so the snapshot seeds a fresh
+/// retry's warmup (via [`crate::snapcache`]-style restore) rather than
+/// resuming the interrupted session mid-flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preemption {
+    /// Epochs the interrupted session had completed.
+    pub epochs: usize,
+    /// Versioned GPU snapshot taken at the preemption epoch boundary.
+    pub snapshot: Vec<u8>,
+}
+
+/// Like [`run`], but polls `cancelled` between epochs: when it reports
+/// `true`, the run stops at the next epoch boundary and returns the
+/// partial progress as a [`Preemption`] instead of a result. A run that
+/// finishes before cancellation returns its normal, bit-identical
+/// [`RunResult`].
+///
+/// # Errors
+///
+/// `Err(Preemption)` when the run was cancelled before completing.
+pub fn run_preemptible(
+    app: &App,
+    cfg: &RunConfig,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<RunResult, Box<Preemption>> {
+    run_inner(app, cfg, false, None, Some(cancelled))
 }
 
 /// Like [`run`], but samples the oracle on an explicit `pool` instead of
 /// the process-global one. The result is bit-identical to [`run`] at any
 /// pool size.
 pub fn run_with_pool(app: &App, cfg: &RunConfig, pool: Arc<WorkerPool>) -> RunResult {
-    run_inner(app, cfg, false, Some(pool))
+    run_inner(app, cfg, false, Some(pool), None)
+        .expect("no cancel predicate, so the run cannot preempt")
 }
 
 /// Like [`run`], but additionally forces fork–pre-execute sampling every
 /// epoch and records a ground-truth [`SensitivityTrace`] into
 /// [`RunResult::sensitivity_trace`] (the Figure 6 measurement path).
 pub fn run_with_sensitivity_trace(app: &App, cfg: &RunConfig) -> RunResult {
-    run_inner(app, cfg, true, None)
+    run_inner(app, cfg, true, None, None).expect("no cancel predicate, so the run cannot preempt")
 }
 
-fn run_inner(app: &App, cfg: &RunConfig, trace: bool, pool: Option<Arc<WorkerPool>>) -> RunResult {
+fn run_inner(
+    app: &App,
+    cfg: &RunConfig,
+    trace: bool,
+    pool: Option<Arc<WorkerPool>>,
+    cancelled: Option<&dyn Fn() -> bool>,
+) -> Result<RunResult, Box<Preemption>> {
     let power = PowerModel::new(cfg.power);
     let mut session = Session::new(app, cfg).sampling_every_epoch(trace);
     if let Some(pool) = pool {
@@ -238,7 +276,17 @@ fn run_inner(app: &App, cfg: &RunConfig, trace: bool, pool: Option<Arc<WorkerPoo
         if let Some(t) = tracer.as_mut() {
             observers.push(t);
         }
-        session.run(&mut observers);
+        match cancelled {
+            Some(cancelled) => {
+                if session.run_preemptible(&mut observers, cancelled) {
+                    return Err(Box::new(Preemption {
+                        epochs: session.epochs(),
+                        snapshot: session.gpu().save_snapshot(),
+                    }));
+                }
+            }
+            None => session.run(&mut observers),
+        }
     }
     let mut result = session.finalize();
     energy.finish(&mut result);
@@ -250,7 +298,7 @@ fn run_inner(app: &App, cfg: &RunConfig, trace: bool, pool: Option<Arc<WorkerPoo
     if let Some(t) = tracer.as_mut() {
         t.finish(&mut result);
     }
-    result
+    Ok(result)
 }
 
 /// Runs the static-1.7 GHz baseline every paper figure normalizes against.

@@ -486,6 +486,27 @@ impl Session {
         while self.step(observers) {}
     }
 
+    /// Like [`Session::run`], but polls `cancelled` between epochs and
+    /// stops early when it reports `true`. Returns `true` iff the run was
+    /// preempted (the session is still steppable); `false` means it ran to
+    /// its natural end. Epoch boundaries are the only preemption points, so
+    /// a preempted session's GPU is always in a consistent, snapshottable
+    /// state.
+    pub fn run_preemptible(
+        &mut self,
+        observers: &mut [&mut dyn RunObserver],
+        cancelled: &dyn Fn() -> bool,
+    ) -> bool {
+        loop {
+            if cancelled() {
+                return !self.is_finished();
+            }
+            if !self.step(observers) {
+                return false;
+            }
+        }
+    }
+
     /// The session-level portion of the result (identity, delay, epoch
     /// count); observer [`RunObserver::finish`] calls fill in the rest.
     pub fn finalize(&self) -> RunResult {

@@ -61,7 +61,19 @@ fn store() -> MutexGuard<'static, SnapshotStore> {
     STORE
         .get_or_init(|| {
             let store = match DIR.get_or_init(|| Some(default_dir())) {
-                Some(d) => SnapshotStore::new(d, LRU_CAPACITY).with_writer(write_atomic_bytes),
+                Some(d) => SnapshotStore::new(d, LRU_CAPACITY)
+                    .with_writer(write_atomic_bytes)
+                    // Transient read hiccups retry briefly; anything
+                    // permanent still degrades to a cold start (the
+                    // store treats read errors as misses).
+                    .with_reader(|p| {
+                        supervise::edge::retry_transient(
+                            3,
+                            &supervise::Backoff { base_ms: 1, cap_ms: 8 },
+                            0,
+                            || std::fs::read(p),
+                        )
+                    }),
                 None => SnapshotStore::in_memory(LRU_CAPACITY),
             };
             Mutex::new(store)

@@ -588,6 +588,166 @@ pub fn resilience_sweep(
     }
 }
 
+/// One hang-rate point of the supervision study (DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionPoint {
+    /// The injected per-cell hang probability.
+    pub rate: f64,
+    /// Chaos events the plan armed for this grid.
+    pub armed: u64,
+    /// Timeout give-ups across all attempts.
+    pub timeouts: u64,
+    /// Retry attempts launched.
+    pub retries: u64,
+    /// Cells recovered after at least one lost attempt.
+    pub recovered: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Retries withheld by an open breaker.
+    pub breaker_skips: u64,
+    /// Cells never recovered.
+    pub unrecovered: u64,
+    /// Cells that produced a result.
+    pub completed: u64,
+    /// Whether every completed cell is bit-identical to the fault-free
+    /// grid (the survivor-integrity invariant).
+    pub matches_clean: bool,
+    /// Wall-clock time of the supervised grid, in milliseconds (edge
+    /// measurement — reported, never consulted by a decision).
+    pub wall_ms: u64,
+}
+
+/// The supervision study's result: recovery behavior over a hang-rate
+/// ladder, proving grids complete with bounded wall-clock under chaos.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionCurves {
+    /// The swept hang rates.
+    pub rates: Vec<f64>,
+    /// The apps in the grid.
+    pub apps: Vec<String>,
+    /// The designs in the grid.
+    pub policies: Vec<String>,
+    /// Seed shared by the chaos plans and the backoff schedule.
+    pub seed: u64,
+    /// Per-attempt watchdog deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Harness-level retry rounds.
+    pub max_retries: u32,
+    /// One point per swept rate.
+    pub points: Vec<SupervisionPoint>,
+}
+
+impl SupervisionCurves {
+    /// Renders the study as a JSON document (hand-rolled; the vendored
+    /// serde is a marker-trait stand-in without a serializer).
+    pub fn to_json(&self) -> String {
+        fn strings(v: &[String]) -> String {
+            let parts: Vec<String> =
+                v.iter().map(|s| format!("\"{}\"", s.replace('"', "\\\""))).collect();
+            format!("[{}]", parts.join(","))
+        }
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"rate\":{:.6},\"armed\":{},\"timeouts\":{},\"retries\":{},\
+                     \"recovered\":{},\"breaker_trips\":{},\"breaker_skips\":{},\
+                     \"unrecovered\":{},\"completed\":{},\"matches_clean\":{},\
+                     \"wall_ms\":{}}}",
+                    p.rate,
+                    p.armed,
+                    p.timeouts,
+                    p.retries,
+                    p.recovered,
+                    p.breaker_trips,
+                    p.breaker_skips,
+                    p.unrecovered,
+                    p.completed,
+                    p.matches_clean,
+                    p.wall_ms,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"rates\": {},\n  \"apps\": {},\n  \"policies\": {},\n  \"seed\": {},\n  \
+             \"deadline_ms\": {},\n  \"max_retries\": {},\n  \"points\": [\n    {}\n  ]\n}}\n",
+            {
+                let parts: Vec<String> = self.rates.iter().map(|x| format!("{x:.6}")).collect();
+                format!("[{}]", parts.join(","))
+            },
+            strings(&self.apps),
+            strings(&self.policies),
+            self.seed,
+            self.deadline_ms,
+            self.max_retries,
+            points.join(",\n    ")
+        )
+    }
+}
+
+/// Sweeps the supervised grid over a hang-rate ladder: each rate arms a
+/// [`faults::ChaosPlan`] at `scfg.seed` and runs the full grid through
+/// [`crate::supervised::run_grid_supervised`], comparing survivors
+/// against a clean (chaos-free, unsupervised) reference grid. Rate 0
+/// skips chaos entirely, so its point doubles as the overhead check:
+/// supervision idles when nothing fails.
+pub fn supervision_sweep(
+    apps: &[App],
+    policies: &[PolicyKind],
+    base: &RunConfig,
+    rates: &[f64],
+    scfg: &crate::supervised::SuperviseConfig,
+    threads: usize,
+) -> SupervisionCurves {
+    use crate::supervised::run_grid_supervised;
+    use crate::sweeps::run_grid;
+
+    let clean = run_grid(apps, policies, base, threads);
+    let n_cells = clean.len();
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let plan = (rate > 0.0).then(|| {
+            faults::ChaosPlan::from_config(
+                &faults::FaultConfig {
+                    seed: scfg.seed,
+                    hang_rate: rate,
+                    ..faults::FaultConfig::default()
+                },
+                n_cells,
+            )
+        });
+        let armed = plan.as_ref().map_or(0, faults::ChaosPlan::remaining) as u64;
+        let t0 = supervise::edge::now_ms();
+        let grid = run_grid_supervised(apps, policies, base, threads, scfg, plan.as_ref());
+        let wall_ms = supervise::edge::now_ms().saturating_sub(t0);
+        let matches_clean =
+            grid.cells.iter().zip(&clean).all(|(got, want)| got.as_ref().is_none_or(|c| c == want));
+        points.push(SupervisionPoint {
+            rate,
+            armed,
+            timeouts: grid.report.timeouts,
+            retries: grid.report.retries,
+            recovered: grid.report.recovered,
+            breaker_trips: grid.report.breaker_trips,
+            breaker_skips: grid.report.breaker_skips,
+            unrecovered: grid.report.unrecovered,
+            completed: grid.cells.iter().flatten().count() as u64,
+            matches_clean,
+            wall_ms,
+        });
+    }
+    SupervisionCurves {
+        rates: rates.to_vec(),
+        apps: apps.iter().map(|a| a.name.clone()).collect(),
+        policies: policies.iter().map(|p| p.name()).collect(),
+        seed: scfg.seed,
+        deadline_ms: scfg.deadline.map_or(0, |d| d.as_millis() as u64),
+        max_retries: scfg.max_retries,
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -169,7 +169,15 @@ fn parse_journal(
 /// truncation, corruption, a different grid's key — degrades to a cold
 /// start: the journal is an accelerator, never a correctness input.
 fn load_journal(path: &Path, key: &str, n_cells: usize) -> HashMap<usize, SuiteCell> {
-    let Ok(bytes) = std::fs::read(path) else { return HashMap::new() };
+    // A transient read hiccup should not silently cost a whole grid of
+    // completed cells; retry briefly, then degrade to a cold start.
+    let read = supervise::edge::retry_transient(
+        3,
+        &supervise::Backoff { base_ms: 1, cap_ms: 8 },
+        0,
+        || std::fs::read(path),
+    );
+    let Ok(bytes) = read else { return HashMap::new() };
     match parse_journal(&bytes, key, n_cells) {
         Ok(cells) => cells.into_iter().map(|(i, c)| (i as usize, c)).collect(),
         Err(_) => HashMap::new(),

@@ -20,6 +20,11 @@ pub const SNAP_EXT: &str = "snap";
 /// crash leaves either the old file or the new one, never a torn mix.
 pub type AtomicWriter = fn(&Path, &[u8]) -> io::Result<()>;
 
+/// Disk reader signature, pluggable like [`AtomicWriter`] so embedders can
+/// route reads through their own resilience layer (e.g. a
+/// transient-error retry wrapper).
+pub type DiskReader = fn(&Path) -> io::Result<Vec<u8>>;
+
 /// Fallback atomic writer: temp file in the target directory + rename.
 fn default_atomic_writer(path: &Path, bytes: &[u8]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
@@ -63,6 +68,7 @@ pub fn content_key(parts: &[&str]) -> String {
 pub struct SnapshotStore {
     dir: Option<PathBuf>,
     writer: AtomicWriter,
+    reader: DiskReader,
     capacity: usize,
     /// Most-recently-used entry at the back.
     entries: VecDeque<(String, Vec<u8>)>,
@@ -89,6 +95,7 @@ impl SnapshotStore {
         SnapshotStore {
             dir: Some(dir.into()),
             writer: default_atomic_writer,
+            reader: |p| fs::read(p),
             capacity: capacity.max(1),
             entries: VecDeque::new(),
             hits: 0,
@@ -101,6 +108,7 @@ impl SnapshotStore {
         SnapshotStore {
             dir: None,
             writer: default_atomic_writer,
+            reader: |p| fs::read(p),
             capacity: capacity.max(1),
             entries: VecDeque::new(),
             hits: 0,
@@ -112,6 +120,13 @@ impl SnapshotStore {
     /// `write_atomic`). Returns `self` for builder-style construction.
     pub fn with_writer(mut self, writer: AtomicWriter) -> Self {
         self.writer = writer;
+        self
+    }
+
+    /// Replaces the disk reader (e.g. with a transient-error retry
+    /// wrapper). Returns `self` for builder-style construction.
+    pub fn with_reader(mut self, reader: DiskReader) -> Self {
+        self.reader = reader;
         self
     }
 
@@ -137,7 +152,7 @@ impl SnapshotStore {
             return Some(bytes);
         }
         if let Some(path) = self.path_for(key) {
-            if let Ok(bytes) = fs::read(&path) {
+            if let Ok(bytes) = (self.reader)(&path) {
                 self.insert_resident(key.to_owned(), bytes.clone());
                 self.hits += 1;
                 return Some(bytes);

@@ -589,7 +589,8 @@ mod tests {
         for name in ["comd", "dgemm"] {
             let appl = crate::by_name(name, Scale::Quick).unwrap();
             let mut gpu = Gpu::new(GpuConfig::tiny(), appl);
-            gpu.run_to_completion(Femtos::from_micros(500_000));
+            let outcome = gpu.run_to_outcome(Femtos::from_micros(500_000));
+            assert!(outcome.is_completed(), "{name} did not finish: {outcome:?}");
             assert!(gpu.is_done(), "{name} did not finish");
         }
     }

@@ -27,6 +27,14 @@
 //! show what the faults cost. Outputs are printed and archived under
 //! `results/`.
 //!
+//! `--deadline MS` and `--max-retries N` tune the supervised executor
+//! (the `supervision` experiment): `--deadline` bounds each grid cell's
+//! wall-clock per attempt (the watchdog cancels a lane past it and the
+//! simulation preempts into a snapshot at the next epoch boundary), and
+//! `--max-retries` caps the deterministic retry rounds for failed or
+//! timed-out cells. Example: `repro run supervision --faults
+//! hang=0.2,seed=7 --deadline 5000 --max-retries 3`.
+//!
 //! `--snapshot-dir DIR` points the content-addressed warmup snapshot
 //! store (and `snapshot` subcommand) at `DIR` instead of the default
 //! `results/.snapcache/`. `--resume` enables per-grid resume journals in
@@ -76,6 +84,7 @@ fn registry() -> Vec<(&'static str, &'static str, FigureFn)> {
         ("table1", "hardware storage overhead per design", figures::table1),
         ("table2", "the workload suite", figures::table2_figure),
         ("resilience", "energy/slowdown vs fault rate (degradation ladder)", figures::resilience),
+        ("supervision", "grid completion under injected hang chaos", figures::supervision),
     ]
 }
 
@@ -119,6 +128,39 @@ fn apply_faults_flag(args: &[String]) -> Result<(), String> {
         faults::FaultConfig::parse(spec).map_err(|e| format!("bad --faults spec: {}", e.0))?;
     if !figures::set_fault_override(FaultSetup::with_default_ladder(cfg)) {
         return Err("fault override already installed; pass --faults once".into());
+    }
+    Ok(())
+}
+
+/// Applies `--deadline MS` and `--max-retries N`: installs the
+/// process-wide supervision override the `supervision` experiment (and
+/// any supervised grid) picks up.
+fn apply_supervise_flags(args: &[String]) -> Result<(), String> {
+    let deadline_ms = match args.iter().position(|a| a == "--deadline") {
+        None => None,
+        Some(_) => Some(
+            flag_value(args, "--deadline")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .ok_or("--deadline requires a positive millisecond count, e.g. --deadline 5000")?,
+        ),
+    };
+    let max_retries = match args.iter().position(|a| a == "--max-retries") {
+        None => None,
+        Some(_) => Some(
+            flag_value(args, "--max-retries")
+                .and_then(|v| v.parse::<u32>().ok())
+                .ok_or("--max-retries requires a non-negative integer, e.g. --max-retries 3")?,
+        ),
+    };
+    if deadline_ms.is_none() && max_retries.is_none() {
+        return Ok(());
+    }
+    let over = figures::SuperviseOverride { deadline_ms, max_retries };
+    if !figures::set_supervise_override(over) {
+        return Err(
+            "supervision override already installed; pass --deadline/--max-retries once".into()
+        );
     }
     Ok(())
 }
@@ -320,6 +362,10 @@ fn main() -> ExitCode {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
     }
+    if let Err(msg) = apply_supervise_flags(&args) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("available experiments (run with `repro run <id>`):\n");
@@ -377,7 +423,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: repro <list|run <id>|all|snapshot <save|restore|ls|verify>> \
-                 [--full] [--threads N] [--faults SPEC] [--snapshot-dir DIR] [--resume]"
+                 [--full] [--threads N] [--faults SPEC] [--deadline MS] [--max-retries N] \
+                 [--snapshot-dir DIR] [--resume]"
             );
             ExitCode::FAILURE
         }

@@ -128,10 +128,14 @@ fn transition_latency_scaling_matches_paper() {
 
 #[test]
 fn full_suite_completes_on_small_gpu() {
-    // Every Table II app must terminate (no deadlocks / livelocks).
+    // Every Table II app must terminate (no deadlocks / livelocks), and —
+    // since this drives `run_to_outcome` with the default progress meter —
+    // the no-progress detector must not false-positive on any of the 16
+    // synthetic workloads.
     for app in suite(Scale::Quick) {
         let mut gpu = Gpu::new(GpuConfig::small(), app.clone());
-        gpu.run_to_completion(Femtos::from_micros(100_000));
+        let outcome = gpu.run_to_outcome(Femtos::from_micros(100_000));
+        assert!(outcome.is_completed(), "{} did not complete: {outcome:?}", app.name);
         assert!(gpu.is_done(), "{} did not complete", app.name);
     }
 }

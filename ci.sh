@@ -65,4 +65,19 @@ PCSTALL_THREADS=8 cargo test -q -p harness --test supervision
 echo "==> supervision smoke bench (hang-rate ladder)"
 PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench supervision
 
+# Sharded-lane determinism at the lane-count extremes: the per-CU lane
+# scheduler must be bit-identical to the serial event loop — stats,
+# snapshots and completion — whether the env default is serial or 4 lanes.
+echo "==> lane determinism @ PCSTALL_SIM_LANES=1"
+PCSTALL_SIM_LANES=1 cargo test -q -p gpu-sim --test lane_determinism
+
+echo "==> lane determinism @ PCSTALL_SIM_LANES=4"
+PCSTALL_SIM_LANES=4 cargo test -q -p gpu-sim --test lane_determinism
+
+# The parsim smoke re-measures only the serial-lane baseline probe and
+# fails if it regressed >10% vs the committed BENCH_parsim.json: the lane
+# seam must stay free when unused.
+echo "==> parsim smoke bench (serial-lane regression gate)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench parsim
+
 echo "CI OK"

@@ -1,0 +1,153 @@
+//! Lane-scaling benchmark for the sharded per-CU simulator
+//! (`PCSTALL_SIM_LANES`, see `gpu_sim::lanes`).
+//!
+//! Times whole-epoch simulation (1 µs epochs on the 16-CU small platform,
+//! Quick-scale workloads) at 1, 2, 4 and 8 lanes on an 8-thread worker
+//! pool and reports epochs/sec per lane count plus the speedup over the
+//! serial event loop. Results go to `results/BENCH_parsim.json`.
+//!
+//! Honest numbers only: speedup is *reported*, not asserted — a 1-core
+//! container legitimately measures ~1× at every lane count (the pool
+//! inlines), and results are bit-identical regardless, so the lanes knob
+//! can never change what a run computes, only how fast.
+//!
+//! Smoke mode (`PCSTALL_BENCH_SMOKE=1`, the CI path) re-measures only the
+//! fixed *baseline probe* — lulesh at 1 lane, the serial loop — and fails
+//! loudly if its throughput regressed more than `PCSTALL_PARSIM_TOL`
+//! (default 0.10 = 10%) below the committed JSON, without overwriting the
+//! committed file. This pins the cost of the lane seam itself: the serial
+//! path must not pay for sharding it isn't using.
+
+use exec::WorkerPool;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::time::Femtos;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const LANE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOADS: [&str; 2] = ["lulesh", "comd"];
+const BASELINE_WORKLOAD: &str = "lulesh";
+const EPOCHS_PER_ROUND: usize = 20;
+const ROUNDS: usize = 3;
+
+fn warmed_gpu(workload: &str) -> Gpu {
+    let app = workloads::by_name(workload, workloads::Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::small(), app);
+    gpu.run_epoch(Femtos::from_micros(2));
+    gpu
+}
+
+/// Epochs/sec for `lanes` lanes starting from `warm`, best of `ROUNDS`
+/// rounds of `EPOCHS_PER_ROUND` epochs each. Best-of (not median) keeps the
+/// smoke regression gate robust against scheduler noise: a slow outlier
+/// round cannot fail CI, only a machine that is consistently slower.
+fn epochs_per_sec(warm: &Gpu, lanes: usize, pool: &Arc<WorkerPool>) -> f64 {
+    (0..ROUNDS)
+        .map(|_| {
+            let mut gpu = warm.clone();
+            gpu.set_sim_lanes(lanes);
+            gpu.set_lane_pool(Arc::clone(pool));
+            let start = Instant::now();
+            for _ in 0..EPOCHS_PER_ROUND {
+                black_box(gpu.run_epoch(Femtos::from_micros(1)));
+            }
+            EPOCHS_PER_ROUND as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Pulls `"epochs_per_sec": <float>` out of the committed JSON's
+/// `baseline_probe` object. Hand-rolled on purpose: the bench writes this
+/// file itself in a fixed shape, and the crate deliberately has no JSON
+/// parser dependency.
+fn committed_baseline(json: &str) -> Option<f64> {
+    let probe = &json[json.find("\"baseline_probe\"")?..];
+    let field = &probe[probe.find("\"epochs_per_sec\":")?..];
+    let rest = field.split_once(':')?.1;
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let smoke = std::env::var("PCSTALL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let tol: f64 = std::env::var("PCSTALL_PARSIM_TOL")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.10);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pool = Arc::new(WorkerPool::new(*LANE_COUNTS.iter().max().unwrap()));
+    let path = bench::results_dir().join("BENCH_parsim.json");
+
+    let probe_gpu = warmed_gpu(BASELINE_WORKLOAD);
+    let probe_rate = epochs_per_sec(&probe_gpu, 1, &pool);
+    println!("baseline_probe[{BASELINE_WORKLOAD}, 1 lane]: {probe_rate:.1} epochs/sec");
+
+    if smoke {
+        // Regression gate only; the committed JSON stays untouched.
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "[parsim] FAIL: cannot read committed {} ({e}); run the full bench \
+                 (no PCSTALL_BENCH_SMOKE) to establish a baseline",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        let committed = committed_baseline(&json).unwrap_or_else(|| {
+            eprintln!("[parsim] FAIL: no baseline_probe in {}", path.display());
+            std::process::exit(1);
+        });
+        let floor = committed * (1.0 - tol);
+        if probe_rate < floor {
+            eprintln!(
+                "[parsim] FAIL: serial-lane throughput regressed: {probe_rate:.1} epochs/sec \
+                 < {floor:.1} (committed {committed:.1} - {:.0}% tolerance)",
+                tol * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[parsim] smoke OK: {probe_rate:.1} epochs/sec vs committed {committed:.1} \
+             (floor {floor:.1} at {:.0}% tolerance)",
+            tol * 100.0
+        );
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for workload in WORKLOADS {
+        let warm = warmed_gpu(workload);
+        let mut base_rate = 0.0;
+        for lanes in LANE_COUNTS {
+            let rate = epochs_per_sec(&warm, lanes, &pool);
+            if lanes == 1 {
+                base_rate = rate;
+            }
+            let speedup = rate / base_rate;
+            println!(
+                "parsim[{workload}, {lanes} lane{}]: {rate:.1} epochs/sec ({speedup:.2}x vs serial)",
+                if lanes == 1 { "" } else { "s" }
+            );
+            rows.push(format!(
+                "    {{\"workload\": \"{workload}\", \"lanes\": {lanes}, \
+                 \"epochs_per_sec\": {rate:.3}, \"speedup\": {speedup:.3}}}"
+            ));
+        }
+    }
+    println!(
+        "(machine has {cores} core{}; speedup beyond min(lanes, cores) is not expected)",
+        if cores == 1 { "" } else { "s" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"parsim_lane_scaling\",\n  \"platform\": \
+         \"small-16cu/quick/1us-epochs\",\n  \"cores\": {cores},\n  \
+         \"epochs_per_round\": {EPOCHS_PER_ROUND},\n  \"rounds\": {ROUNDS},\n  \
+         \"baseline_probe\": {{\"workload\": \"{BASELINE_WORKLOAD}\", \"lanes\": 1, \
+         \"epochs_per_sec\": {probe_rate:.3}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    harness::report::write_atomic(&path, &json).expect("write BENCH_parsim.json");
+    println!("wrote {}", path.display());
+}

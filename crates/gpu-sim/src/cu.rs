@@ -9,7 +9,7 @@ use crate::cache::Cache;
 use crate::config::GpuConfig;
 use crate::isa::Op;
 use crate::kernel::Kernel;
-use crate::mem::MemSystem;
+use crate::mem::{LocalOnly, MemoryPort};
 use crate::stats::{CuEpochStats, OpMix, WfEpochStats};
 use crate::time::{Femtos, Frequency};
 use crate::wavefront::Wavefront;
@@ -70,6 +70,19 @@ pub struct StepOutcome {
     /// Workgroups that completed in this step (multi-issue can retire the
     /// final wavefronts of several workgroups in one cycle).
     pub workgroups_done: u32,
+}
+
+/// Why [`Cu::advance_local`] stopped advancing a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneStop {
+    /// The next step (at this time) would touch shared state — the lane
+    /// yields to the merge phase, which replays the step against the real
+    /// memory system in global `(time, cu)` order.
+    Yield(Femtos),
+    /// The lane's next cycle is at or beyond the sub-window end.
+    Parked,
+    /// The CU went fully idle (`next_cycle == IDLE`).
+    Idle,
 }
 
 /// Non-issue interval classification for estimator telemetry.
@@ -447,23 +460,137 @@ impl Cu {
 
     /// Executes one scheduling step at time `now` (which must equal
     /// `next_cycle`), advancing `next_cycle`.
-    pub fn step(
+    pub fn step<M: MemoryPort>(
         &mut self,
         now: Femtos,
-        mem: &mut MemSystem,
+        mem: &mut M,
         app_kernels: &[Kernel],
     ) -> StepOutcome {
-        let mut outcome = StepOutcome::default();
-        // Pick the oldest `issue_width` ready wavefronts; charge sched-wait
-        // to ready wavefronts that lost arbitration.
-        let mut ready: Vec<(u64, usize)> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, wf)| wf.ready(now))
-            .map(|(i, wf)| (wf.age, i))
-            .collect();
+        let mut ready = Vec::new();
+        self.collect_ready(now, &mut ready);
+        self.step_selected(now, mem, app_kernels, &ready)
+    }
+
+    /// Fills `ready` with the age-sorted `(age, slot)` pairs of wavefronts
+    /// ready at `now` — the scheduler's arbitration input. Split out of
+    /// [`Cu::step`] so the lane scheduler can classify a step (local vs.
+    /// global) and then execute it without re-collecting.
+    fn collect_ready(&self, now: Femtos, ready: &mut Vec<(u64, usize)>) {
+        ready.clear();
+        ready.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, wf)| wf.ready(now))
+                .map(|(i, wf)| (wf.age, i)),
+        );
         ready.sort_unstable();
+    }
+
+    /// Whether the step that would execute at `now` with arbitration input
+    /// `ready` needs the shared memory system or the GPU-level dispatcher.
+    ///
+    /// Ops are examined in the order [`Cu::step_selected`] issues them
+    /// (oldest first, up to `issue_width`). A `Store` always reaches shared
+    /// memory; an `EndKernel` may retire a workgroup and trigger dispatch;
+    /// a `Load` is global exactly when it misses L1. The probe sequence
+    /// mirrors execution: issued loads that *hit* only rotate L1 LRU
+    /// recency — they never change residency ([`Cache::probe`] vs.
+    /// [`Cache::access`]) — so probing later loads against the pre-step
+    /// tags gives the same hit/miss answers execution would. The first
+    /// global op taints the whole step (earlier local ops in the same cycle
+    /// still execute with it at merge time, exactly as the serial loop
+    /// would have).
+    pub(crate) fn needs_global(
+        &self,
+        _now: Femtos,
+        app_kernels: &[Kernel],
+        ready: &[(u64, usize)],
+    ) -> bool {
+        for &(_, j) in ready.iter().take(self.issue_width) {
+            let wf = &self.slots[j];
+            let kernel = &app_kernels[wf.kernel_idx as usize];
+            match kernel.code[wf.pc_index as usize] {
+                Op::Store { .. } | Op::EndKernel => return true,
+                Op::Load { pattern } => {
+                    let addr = kernel.patterns[pattern as usize].address(
+                        wf.uid,
+                        wf.mem_counter,
+                        kernel.seed,
+                    );
+                    if !self.l1.probe(addr) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Number of wavefront slots not currently occupied. Only a global
+    /// (merged) `EndKernel` step can grow this, which is what makes the
+    /// dispatch-vulnerability test in [`Cu::advance_local`] stable across
+    /// a whole run of lane-local steps.
+    pub(crate) fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|w| !w.active).count()
+    }
+
+    /// Runs this lane forward through purely CU-local steps until it must
+    /// synchronize: the next step needs shared state ([`LaneStop::Yield`]),
+    /// the sub-window ends ([`LaneStop::Parked`]), or the CU drains
+    /// ([`LaneStop::Idle`]). Only touches this CU's own state, so distinct
+    /// lanes may run concurrently; `ready` is caller-owned scratch.
+    ///
+    /// `dispatch_slots` is the dispatch-vulnerability threshold: while
+    /// workgroups of the current kernel remain undispatched, a CU with at
+    /// least a workgroup's worth of free slots can receive a dispatch at
+    /// *any* other lane's retirement time — a time this lane cannot see.
+    /// Running ahead of the merge frontier would then be wrong (the serial
+    /// loop re-anchors the CU to the dispatch time and lets the new
+    /// wavefronts join arbitration immediately), so a vulnerable lane
+    /// yields every step to the coordinator instead, which interleaves it
+    /// at exactly the serial `(time, cu)` order. Free slots only grow at
+    /// this CU's own merged `EndKernel` steps, so vulnerability cannot
+    /// change mid-advance. Callers with no dispatch pending pass
+    /// `usize::MAX` (immune).
+    pub(crate) fn advance_local(
+        &mut self,
+        window_end: Femtos,
+        app_kernels: &[Kernel],
+        dispatch_slots: usize,
+        ready: &mut Vec<(u64, usize)>,
+    ) -> LaneStop {
+        let vulnerable = self.free_slots() >= dispatch_slots;
+        loop {
+            let t = self.next_cycle;
+            if t == IDLE {
+                return LaneStop::Idle;
+            }
+            if t >= window_end {
+                return LaneStop::Parked;
+            }
+            if vulnerable {
+                return LaneStop::Yield(t);
+            }
+            self.collect_ready(t, ready);
+            if self.needs_global(t, app_kernels, ready) {
+                return LaneStop::Yield(t);
+            }
+            let out = self.step_selected(t, &mut LocalOnly, app_kernels, ready);
+            debug_assert_eq!(out.workgroups_done, 0, "local step retired a workgroup");
+        }
+    }
+
+    /// The body of [`Cu::step`] with the arbitration input precomputed.
+    fn step_selected<M: MemoryPort>(
+        &mut self,
+        now: Femtos,
+        mem: &mut M,
+        app_kernels: &[Kernel],
+        ready: &[(u64, usize)],
+    ) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
         if !ready.is_empty() {
             // Close any in-flight gap first.
             let gap = self.gap_class;
@@ -550,11 +677,11 @@ impl Cu {
         }
     }
 
-    fn issue(
+    fn issue<M: MemoryPort>(
         &mut self,
         slot: usize,
         now: Femtos,
-        mem: &mut MemSystem,
+        mem: &mut M,
         app_kernels: &[Kernel],
         outcome: &mut StepOutcome,
     ) {
@@ -793,7 +920,7 @@ impl Cu {
 mod tests {
     use super::*;
     use crate::kernel::{AddressPattern, KernelBuilder};
-    use crate::mem::MemConfig;
+    use crate::mem::{MemConfig, MemSystem};
 
     fn cfg() -> GpuConfig {
         GpuConfig { n_cus: 1, wf_slots: 8, ..GpuConfig::default() }

@@ -8,10 +8,12 @@
 
 use crate::config::GpuConfig;
 use crate::cu::{CollectScratch, Cu, IDLE};
-use crate::kernel::App;
+use crate::kernel::{App, Kernel};
+use crate::lanes;
 use crate::mem::MemSystem;
 use crate::stats::{CuEpochStats, EpochStats};
 use crate::time::{Femtos, Frequency};
+use exec::WorkerPool;
 use snapshot::{ContainerReader, ContainerWriter, SnapError, Snapshot};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -113,6 +115,105 @@ impl ProgressMeter {
     }
 }
 
+/// Kernel-launch and workgroup-dispatch state, split out of [`Gpu`] so the
+/// sharded lane coordinator (`lanes::run_window`) can drive dispatch while
+/// the CUs themselves are behind per-lane locks. The dispatch algorithm is
+/// identical in both execution modes; only how a freshly scheduled CU is
+/// re-queued differs, which is what the `woken` callback abstracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LaunchState {
+    pub(crate) kernel_idx: usize,
+    pub(crate) next_wg: u32,
+    pub(crate) wgs_remaining: u32,
+    pub(crate) next_uid: u64,
+    pub(crate) next_age: u64,
+    pub(crate) dispatch_cursor: usize,
+    pub(crate) completion: Option<Femtos>,
+}
+
+/// How the dispatcher reaches compute units: directly (`&mut [Cu]` in the
+/// serial loop) or through per-lane locks (sharded coordinator).
+pub(crate) trait CuAccess {
+    /// Number of CUs.
+    fn len(&self) -> usize;
+    /// Runs `f` with exclusive access to CU `i`.
+    fn with_cu<R>(&mut self, i: usize, f: impl FnOnce(&mut Cu) -> R) -> R;
+}
+
+/// Plain-slice [`CuAccess`] for the serial event loop.
+pub(crate) struct SliceCus<'a>(pub(crate) &'a mut [Cu]);
+
+impl CuAccess for SliceCus<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn with_cu<R>(&mut self, i: usize, f: impl FnOnce(&mut Cu) -> R) -> R {
+        f(&mut self.0[i])
+    }
+}
+
+impl LaunchState {
+    /// Handles one retired workgroup at time `t`: backfills dispatch, and
+    /// on kernel completion launches the next kernel (device-wide sync) or
+    /// records app completion. `woken(cu, next_cycle)` fires for every CU
+    /// that received work and has a scheduled cycle.
+    pub(crate) fn on_workgroup_done(
+        &mut self,
+        t: Femtos,
+        kernels: &[Kernel],
+        cus: &mut impl CuAccess,
+        woken: &mut impl FnMut(usize, Femtos),
+    ) {
+        self.wgs_remaining -= 1;
+        if self.next_wg < kernels[self.kernel_idx].workgroups {
+            self.fill_cus(t, kernels, cus, woken);
+        } else if self.wgs_remaining == 0 {
+            self.kernel_idx += 1;
+            if self.kernel_idx < kernels.len() {
+                self.next_wg = 0;
+                self.wgs_remaining = kernels[self.kernel_idx].workgroups;
+                self.fill_cus(t, kernels, cus, woken);
+            } else {
+                self.completion = Some(t);
+            }
+        }
+    }
+
+    /// Dispatches as many pending workgroups as fit, round-robin over CUs.
+    pub(crate) fn fill_cus(
+        &mut self,
+        t: Femtos,
+        kernels: &[Kernel],
+        cus: &mut impl CuAccess,
+        woken: &mut impl FnMut(usize, Femtos),
+    ) {
+        let kernel = &kernels[self.kernel_idx];
+        let n = cus.len();
+        let mut full_streak = 0;
+        while self.next_wg < kernel.workgroups && full_streak < n {
+            let cu = self.dispatch_cursor % n;
+            let wg_size = kernel.wg_wavefronts as u64;
+            let kernel_idx = self.kernel_idx as u32;
+            let (next_uid, next_age) = (self.next_uid, self.next_age);
+            let dispatched = cus.with_cu(cu, |c| {
+                c.try_dispatch_wg(kernel, kernel_idx, next_uid, next_age, t).then_some(c.next_cycle)
+            });
+            if let Some(next) = dispatched {
+                self.next_uid += wg_size;
+                self.next_age += wg_size;
+                self.next_wg += 1;
+                full_streak = 0;
+                if next != IDLE {
+                    woken(cu, next);
+                }
+            } else {
+                full_streak += 1;
+            }
+            self.dispatch_cursor = (self.dispatch_cursor + 1) % n;
+        }
+    }
+}
+
 /// The simulated GPU.
 #[derive(Debug)]
 pub struct Gpu {
@@ -120,15 +221,22 @@ pub struct Gpu {
     cus: Vec<Cu>,
     mem: MemSystem,
     app: Arc<App>,
-    kernel_idx: usize,
-    next_wg: u32,
-    wgs_remaining: u32,
-    next_uid: u64,
-    next_age: u64,
-    dispatch_cursor: usize,
+    launch: LaunchState,
     now: Femtos,
-    completion: Option<Femtos>,
     heap: BinaryHeap<Reverse<(Femtos, usize)>>,
+    /// Event-queue entries (live + stale) currently held per CU. A push
+    /// for a CU that already has entries is by construction redundant —
+    /// only the entry matching `next_cycle` will execute — which is what
+    /// lets [`Gpu::push_event`] count staleness exactly at insert time.
+    heap_entries: Vec<u32>,
+    /// Known-stale entries in `heap`; drives fraction-based compaction.
+    heap_stale: usize,
+    /// Lane count for sharded execution (`PCSTALL_SIM_LANES`); 1 = the
+    /// classic serial event loop. Results are bit-identical either way.
+    sim_lanes: usize,
+    /// Worker pool for sharded execution; `None` uses the process-global
+    /// pool. Excluded from snapshots (host resource, not simulator state).
+    lane_pool: Option<Arc<WorkerPool>>,
     scratch: CollectScratch,
 }
 
@@ -153,15 +261,13 @@ impl Clone for Gpu {
             cus: self.cus.clone(),
             mem: self.mem.clone(),
             app: Arc::clone(&self.app),
-            kernel_idx: self.kernel_idx,
-            next_wg: self.next_wg,
-            wgs_remaining: self.wgs_remaining,
-            next_uid: self.next_uid,
-            next_age: self.next_age,
-            dispatch_cursor: self.dispatch_cursor,
+            launch: self.launch,
             now: self.now,
-            completion: self.completion,
             heap: self.heap.clone(),
+            heap_entries: self.heap_entries.clone(),
+            heap_stale: self.heap_stale,
+            sim_lanes: self.sim_lanes,
+            lane_pool: self.lane_pool.clone(),
             scratch: CollectScratch::default(),
         }
     }
@@ -174,15 +280,13 @@ impl Clone for Gpu {
             cus,
             mem,
             app,
-            kernel_idx,
-            next_wg,
-            wgs_remaining,
-            next_uid,
-            next_age,
-            dispatch_cursor,
+            launch,
             now,
-            completion,
             heap,
+            heap_entries,
+            heap_stale,
+            sim_lanes,
+            lane_pool,
             scratch: _, // the destination keeps its own (stateless) scratch
         } = src;
         self.cfg = *cfg;
@@ -191,16 +295,14 @@ impl Clone for Gpu {
         if !Arc::ptr_eq(&self.app, app) {
             self.app = Arc::clone(app);
         }
-        self.kernel_idx = *kernel_idx;
-        self.next_wg = *next_wg;
-        self.wgs_remaining = *wgs_remaining;
-        self.next_uid = *next_uid;
-        self.next_age = *next_age;
-        self.dispatch_cursor = *dispatch_cursor;
+        self.launch = *launch;
         self.now = *now;
-        self.completion = *completion;
         // BinaryHeap::clone_from reuses the backing vector.
         self.heap.clone_from(heap);
+        self.heap_entries.clone_from(heap_entries);
+        self.heap_stale = *heap_stale;
+        self.sim_lanes = *sim_lanes;
+        self.lane_pool.clone_from(lane_pool);
     }
 }
 
@@ -227,20 +329,49 @@ impl Gpu {
             cus: (0..cfg.n_cus).map(|i| Cu::new(i, &cfg)).collect(),
             mem: MemSystem::new(cfg.mem, cfg.n_cus),
             app: Arc::new(app),
-            kernel_idx: 0,
-            next_wg: 0,
-            wgs_remaining: wgs0,
-            next_uid: 0,
-            next_age: 0,
-            dispatch_cursor: 0,
+            launch: LaunchState {
+                kernel_idx: 0,
+                next_wg: 0,
+                wgs_remaining: wgs0,
+                next_uid: 0,
+                next_age: 0,
+                dispatch_cursor: 0,
+                completion: None,
+            },
             now: Femtos::ZERO,
-            completion: None,
             heap: BinaryHeap::new(),
+            heap_entries: vec![0; cfg.n_cus],
+            heap_stale: 0,
+            sim_lanes: lanes::lanes_from_env(),
+            lane_pool: None,
             scratch: CollectScratch::default(),
             cfg,
         };
         gpu.fill_cus(Femtos::ZERO);
         gpu
+    }
+
+    /// The lane count for sharded execution (see [`Gpu::set_sim_lanes`]).
+    pub fn sim_lanes(&self) -> usize {
+        self.sim_lanes
+    }
+
+    /// Sets the lane count for sharded execution (clamped to at least 1).
+    ///
+    /// With `n > 1`, [`Gpu::run_until`] advances CUs on independent
+    /// per-lane schedules and merges shared-memory steps in deterministic
+    /// `(time, cu)` order, so *all* observable results — epoch stats,
+    /// telemetry, snapshots, completion times — are bit-identical to the
+    /// serial `n = 1` loop. Defaults to the `PCSTALL_SIM_LANES`
+    /// environment variable (or 1).
+    pub fn set_sim_lanes(&mut self, n: usize) {
+        self.sim_lanes = n.max(1);
+    }
+
+    /// Uses `pool` for sharded execution instead of the process-global
+    /// worker pool. Purely a host-resource choice; never affects results.
+    pub fn set_lane_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.lane_pool = Some(pool);
     }
 
     /// The configuration in effect.
@@ -260,12 +391,12 @@ impl Gpu {
 
     /// Whether every kernel has fully completed.
     pub fn is_done(&self) -> bool {
-        self.completion.is_some()
+        self.launch.completion.is_some()
     }
 
     /// Completion time of the whole application, if finished.
     pub fn completion_time(&self) -> Option<Femtos> {
-        self.completion
+        self.launch.completion
     }
 
     /// Read-only access to a compute unit (telemetry, wavefront PCs).
@@ -294,7 +425,7 @@ impl Gpu {
         if self.cus[cu].next_cycle != IDLE {
             let stalled = (self.now + transition).max(self.cus[cu].next_cycle);
             self.cus[cu].next_cycle = stalled;
-            self.heap.push(Reverse((stalled, cu)));
+            self.push_event(stalled, cu);
             self.maybe_compact_heap();
         }
     }
@@ -323,17 +454,52 @@ impl Gpu {
         self.heap.len()
     }
 
+    /// Number of event-queue entries known to be stale (superseded by a
+    /// retime or a duplicate push). Exposed for compaction tests.
+    pub fn stale_event_entries(&self) -> usize {
+        self.heap_stale
+    }
+
+    /// Pushes an event, maintaining the per-CU entry counts and the stale
+    /// tally: a CU that already has entries can have at most one live one,
+    /// so each additional push marks one entry stale. The tally is a cheap
+    /// over-approximation — a lingering counted-stale entry can coincide
+    /// with a later push whose entry is itself live — which only makes
+    /// compaction (which resets the tally) fire earlier, never later.
+    fn push_event(&mut self, t: Femtos, cu: usize) {
+        if self.heap_entries[cu] > 0 {
+            self.heap_stale += 1;
+        }
+        self.heap_entries[cu] += 1;
+        self.heap.push(Reverse((t, cu)));
+    }
+
     /// Rebuilds the event queue from live `next_cycle` values once stale
-    /// entries dominate. Semantics-preserving: stale entries are skipped by
-    /// [`Gpu::run_until`] anyway, and rebuild keeps at most one entry per
-    /// scheduled CU.
+    /// entries dominate (> half the queue, above a small floor so bursts
+    /// of retiming don't thrash the rebuild). Semantics-preserving: stale
+    /// entries are skipped by [`Gpu::run_until`] anyway, and rebuild keeps
+    /// at most one entry per scheduled CU. Checked at every staleness
+    /// source — retimes, stale-entry pops, and run entry — so heavy
+    /// per-epoch retiming keeps the queue bounded by the floor rather than
+    /// growing until a size heuristic notices.
     fn maybe_compact_heap(&mut self) {
-        if self.heap.len() <= (4 * self.cus.len()).max(64) {
+        let floor = (2 * self.cus.len()).max(64);
+        let stale = self.heap_stale.min(self.heap.len());
+        if self.heap.len() <= floor || stale * 2 <= self.heap.len() {
             return;
         }
+        self.compact_heap();
+    }
+
+    /// Unconditionally rebuilds the canonical event queue: one entry per
+    /// scheduled CU, zero stale.
+    fn compact_heap(&mut self) {
         self.heap.clear();
+        self.heap_stale = 0;
+        self.heap_entries.iter_mut().for_each(|e| *e = 0);
         for (i, cu) in self.cus.iter().enumerate() {
             if cu.next_cycle != IDLE {
+                self.heap_entries[i] = 1;
                 self.heap.push(Reverse((cu.next_cycle, i)));
             }
         }
@@ -341,7 +507,23 @@ impl Gpu {
 
     /// Advances simulation until `end` (exclusive). Events at or after
     /// `end` are left pending, so epochs compose exactly.
+    ///
+    /// With [`Gpu::sim_lanes`] > 1 this runs the sharded per-CU lane
+    /// scheduler (`lanes::run_window`) instead of the serial event loop;
+    /// results are bit-identical. Nested use from inside a worker pool
+    /// (e.g. an oracle fork advancing its clone) stays serial so lane
+    /// parallelism never deadlocks or oversubscribes the pool.
     pub fn run_until(&mut self, end: Femtos) {
+        if self.sim_lanes > 1 && self.cus.len() > 1 && !exec::in_worker() {
+            self.run_until_sharded(end);
+        } else {
+            self.run_until_serial(end);
+        }
+    }
+
+    /// The classic serial event loop: pop `(time, cu)` in lexicographic
+    /// order, step that CU against the shared memory system.
+    fn run_until_serial(&mut self, end: Femtos) {
         self.maybe_compact_heap();
         let app = Arc::clone(&self.app);
         while let Some(&Reverse((t, i))) = self.heap.peek() {
@@ -349,8 +531,14 @@ impl Gpu {
                 break;
             }
             self.heap.pop();
+            self.heap_entries[i] -= 1;
             if self.cus[i].next_cycle != t {
-                continue; // stale entry
+                // Stale entry. The counter can over-estimate (a retimed CU
+                // rescheduled back onto an old entry's time turns that
+                // "stale" entry live again), so the decrement saturates.
+                self.heap_stale = self.heap_stale.saturating_sub(1);
+                self.maybe_compact_heap();
+                continue;
             }
             let outcome = self.cus[i].step(t, &mut self.mem, &app.kernels);
             for _ in 0..outcome.workgroups_done {
@@ -358,10 +546,36 @@ impl Gpu {
             }
             let next = self.cus[i].next_cycle;
             if next != IDLE {
-                self.heap.push(Reverse((next, i)));
+                self.push_event(next, i);
             }
         }
         self.now = end;
+    }
+
+    /// Sharded execution: per-CU lanes advance independently through
+    /// CU-local work; steps that touch shared L2/DRAM or the dispatcher
+    /// are merged in `(time, cu)` order — exactly the serial pop order —
+    /// so every observable result is bit-identical to the serial loop.
+    fn run_until_sharded(&mut self, end: Femtos) {
+        let app = Arc::clone(&self.app);
+        let start = self.now;
+        lanes::run_window(
+            lanes::ShardCtx {
+                cus: &mut self.cus,
+                mem: &mut self.mem,
+                launch: &mut self.launch,
+                kernels: &app.kernels,
+                lanes: self.sim_lanes,
+                pool: self.lane_pool.as_ref(),
+            },
+            start,
+            end,
+        );
+        self.now = end;
+        // Leave the event queue canonical (one entry per scheduled CU) so
+        // serial execution, `event_queue_len` and snapshots all remain
+        // oblivious to which mode ran the window.
+        self.compact_heap();
     }
 
     /// Runs one epoch of `duration`, returning its telemetry.
@@ -444,7 +658,7 @@ impl Gpu {
                 return RunOutcome::NoProgress { now: self.now, committed: meter.progressed() };
             }
         }
-        match self.completion {
+        match self.launch.completion {
             Some(t) => RunOutcome::Completed(t),
             None => RunOutcome::SimDeadline { now: self.now },
         }
@@ -466,29 +680,38 @@ impl Gpu {
     ///
     /// The encode mirrors the manual `Clone` above: the same exhaustive
     /// destructuring, so adding a field without updating this path is a
-    /// compile error. The event heap is written as a sorted event list;
-    /// restoring it rebuilds an equivalent heap (the full `(time, cu)`
-    /// tuple is the ordering key, so any two heaps over the same multiset
-    /// of events pop identically). A GPU restored by
-    /// [`Gpu::load_snapshot`] is therefore *bit-exact*: stepping it
-    /// produces the same event stream, stats and telemetry as the
-    /// uninterrupted original.
+    /// compile error. The event queue is written in *canonical* form — the
+    /// sorted `(next_cycle, cu)` list derived from the live CU clocks, not
+    /// the raw heap — which drops stale duplicates (they would be skipped
+    /// on replay anyway) and makes the byte stream independent of both the
+    /// heap's internal layout and the execution mode that produced the
+    /// state: serial and sharded runs of the same simulation snapshot to
+    /// identical bytes. A GPU restored by [`Gpu::load_snapshot`] is
+    /// *bit-exact*: stepping it produces the same event stream, stats and
+    /// telemetry as the uninterrupted original.
     pub fn save_snapshot(&self) -> Vec<u8> {
         let Gpu {
             cfg,
             cus,
             mem,
             app,
-            kernel_idx,
-            next_wg,
-            wgs_remaining,
-            next_uid,
-            next_age,
-            dispatch_cursor,
+            launch:
+                LaunchState {
+                    kernel_idx,
+                    next_wg,
+                    wgs_remaining,
+                    next_uid,
+                    next_age,
+                    dispatch_cursor,
+                    completion,
+                },
             now,
-            completion,
-            heap,
-            scratch: _, // stateless epoch scratch; rebuilt on load
+            heap: _,         // canonical form derived from `cus` below
+            heap_entries: _, // derived from the event list on load
+            heap_stale: _,   // zero by construction in canonical form
+            sim_lanes: _,    // host execution knob, not simulator state
+            lane_pool: _,    // host resource
+            scratch: _,      // stateless epoch scratch; rebuilt on load
         } = self;
         let mut c = ContainerWriter::new();
         c.section("config", |w| cfg.encode(w));
@@ -504,7 +727,12 @@ impl Gpu {
             w.put_usize(*dispatch_cursor);
             now.encode(w);
             completion.encode(w);
-            let mut events: Vec<(Femtos, usize)> = heap.iter().map(|Reverse(e)| *e).collect();
+            let mut events: Vec<(Femtos, usize)> = cus
+                .iter()
+                .enumerate()
+                .filter(|(_, cu)| cu.next_cycle != IDLE)
+                .map(|(i, cu)| (cu.next_cycle, i))
+                .collect();
             events.sort_unstable();
             events.encode(w);
         });
@@ -606,71 +834,66 @@ impl Gpu {
             }
         }
 
+        // Per-CU entry counts and the stale tally are derived, not stored:
+        // snapshots written by this version carry the canonical (stale-free)
+        // event list, while older snapshots may carry duplicates, which are
+        // counted stale here exactly as `push_event` would have.
+        let mut heap_entries = vec![0u32; cfg.n_cus];
+        let mut heap_stale = 0usize;
+        for &(t, i) in &events {
+            if heap_entries[i] > 0 || cus[i].next_cycle != t {
+                heap_stale += 1;
+            }
+            heap_entries[i] += 1;
+        }
+
         Ok(Gpu {
             cfg,
             cus,
             mem,
             app: Arc::new(app),
-            kernel_idx,
-            next_wg,
-            wgs_remaining,
-            next_uid,
-            next_age,
-            dispatch_cursor,
+            launch: LaunchState {
+                kernel_idx,
+                next_wg,
+                wgs_remaining,
+                next_uid,
+                next_age,
+                dispatch_cursor,
+                completion,
+            },
             now,
-            completion,
             heap: BinaryHeap::from(events.into_iter().map(Reverse).collect::<Vec<_>>()),
+            heap_entries,
+            heap_stale,
+            sim_lanes: lanes::lanes_from_env(),
+            lane_pool: None,
             scratch: CollectScratch::default(),
         })
     }
 
     fn on_workgroup_done(&mut self, t: Femtos) {
-        self.wgs_remaining -= 1;
-        if self.next_wg < self.app.kernels[self.kernel_idx].workgroups {
-            self.fill_cus(t);
-        } else if self.wgs_remaining == 0 {
-            // Kernel complete: launch the next one (device-wide sync) or
-            // finish the app.
-            self.kernel_idx += 1;
-            if self.kernel_idx < self.app.kernels.len() {
-                self.next_wg = 0;
-                self.wgs_remaining = self.app.kernels[self.kernel_idx].workgroups;
-                self.fill_cus(t);
-            } else {
-                self.completion = Some(t);
+        let app = Arc::clone(&self.app);
+        let Gpu { cus, launch, heap, heap_entries, heap_stale, .. } = self;
+        launch.on_workgroup_done(t, &app.kernels, &mut SliceCus(cus), &mut |cu, next| {
+            if heap_entries[cu] > 0 {
+                *heap_stale += 1;
             }
-        }
+            heap_entries[cu] += 1;
+            heap.push(Reverse((next, cu)));
+        });
     }
 
     /// Dispatches as many pending workgroups as fit, round-robin over CUs.
     fn fill_cus(&mut self, t: Femtos) {
         let app = Arc::clone(&self.app);
-        let kernel = &app.kernels[self.kernel_idx];
-        let n = self.cus.len();
-        let mut full_streak = 0;
-        while self.next_wg < kernel.workgroups && full_streak < n {
-            let cu = self.dispatch_cursor % n;
-            let wg_size = kernel.wg_wavefronts as u64;
-            if self.cus[cu].try_dispatch_wg(
-                kernel,
-                self.kernel_idx as u32,
-                self.next_uid,
-                self.next_age,
-                t,
-            ) {
-                self.next_uid += wg_size;
-                self.next_age += wg_size;
-                self.next_wg += 1;
-                full_streak = 0;
-                let next = self.cus[cu].next_cycle;
-                if next != IDLE {
-                    self.heap.push(Reverse((next, cu)));
-                }
-            } else {
-                full_streak += 1;
+        let Gpu { cus, launch, heap, heap_entries, heap_stale, .. } = self;
+        launch.fill_cus(t, &app.kernels, &mut SliceCus(cus), &mut |cu, next| {
+            if heap_entries[cu] > 0 {
+                *heap_stale += 1;
             }
-            self.dispatch_cursor = (self.dispatch_cursor + 1) % n;
-        }
+            heap_entries[cu] += 1;
+            heap.push(Reverse((next, cu)));
+        });
     }
 }
 
@@ -898,6 +1121,125 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::tiny(), app);
         assert!(gpu.run_to_outcome(Femtos::from_micros(100)).is_completed());
         assert!(gpu.is_done());
+    }
+
+    /// Runs `epochs` epochs of 1 µs at the given lane count, returning the
+    /// per-epoch stats and the final snapshot bytes.
+    fn run_lanes(app: &App, lanes: usize, epochs: usize) -> (Vec<EpochStats>, Vec<u8>) {
+        let mut gpu = Gpu::new(GpuConfig::tiny(), app.clone());
+        gpu.set_sim_lanes(lanes);
+        let mut out = Vec::new();
+        for _ in 0..epochs {
+            out.push(gpu.run_epoch(Femtos::from_micros(1)));
+        }
+        (out, gpu.save_snapshot())
+    }
+
+    #[test]
+    fn sharded_compute_app_bit_identical_to_serial() {
+        let app = compute_app_trips(64, 400);
+        let (serial, snap1) = run_lanes(&app, 1, 12);
+        for lanes in [2, 8] {
+            let (sharded, snap) = run_lanes(&app, lanes, 12);
+            assert_eq!(serial, sharded, "epoch stats diverged at {lanes} lanes");
+            assert_eq!(snap1, snap, "snapshot diverged at {lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn sharded_memory_app_bit_identical_to_serial() {
+        let app = memory_app(64);
+        let (serial, snap1) = run_lanes(&app, 1, 12);
+        for lanes in [2, 8] {
+            let (sharded, snap) = run_lanes(&app, lanes, 12);
+            assert_eq!(serial, sharded, "epoch stats diverged at {lanes} lanes");
+            assert_eq!(snap1, snap, "snapshot diverged at {lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn sharded_completion_and_clone_match_serial() {
+        let app = compute_app(32);
+        let mut a = Gpu::new(GpuConfig::tiny(), app.clone());
+        a.set_sim_lanes(1);
+        let mut b = Gpu::new(GpuConfig::tiny(), app);
+        b.set_sim_lanes(4);
+        // Forks of a sharded GPU inherit the lane count and still match.
+        let mut b_fork = b.clone();
+        assert_eq!(b_fork.sim_lanes(), 4);
+        let ta = a.run_to_outcome(Femtos::from_micros(1000));
+        let tb = b.run_to_outcome(Femtos::from_micros(1000));
+        let tf = b_fork.run_to_outcome(Femtos::from_micros(1000));
+        assert_eq!(ta, tb);
+        assert_eq!(ta, tf);
+        assert_eq!(a.save_snapshot(), b.save_snapshot());
+    }
+
+    #[test]
+    fn retiming_keeps_event_queue_bounded() {
+        // Heavy per-epoch retiming (fine-grain DVFS retimes every domain
+        // every epoch) must not grow the event queue: each retime leaves a
+        // stale duplicate behind, and compaction now triggers on the stale
+        // *fraction* at every staleness source rather than on a size
+        // heuristic at run entry only.
+        let mut gpu = Gpu::new(GpuConfig::tiny(), compute_app_trips(64, 2000));
+        let all: Vec<usize> = (0..gpu.n_cus()).collect();
+        let bound = (2 * gpu.n_cus()).max(64) + 1;
+        let mut max_len = 0;
+        for e in 0..300 {
+            // Alternate between two frequencies so every epoch actually
+            // retimes (set_cu_frequency no-ops on an unchanged frequency).
+            let mhz = if e % 2 == 0 { 1300 } else { 2200 };
+            gpu.set_frequency_of(&all, Frequency::from_mhz(mhz), Femtos::from_nanos(1));
+            gpu.run_epoch(Femtos::from_nanos(100));
+            max_len = max_len.max(gpu.event_queue_len());
+        }
+        assert!(
+            max_len <= bound,
+            "event queue grew to {max_len} entries under per-epoch retiming (bound {bound})"
+        );
+    }
+
+    #[test]
+    fn no_progress_on_drained_event_queue_sharded() {
+        // The provable-hang detection must behave identically under
+        // sharded execution: the liveness check aggregates per-CU
+        // next_cycle values, not the (mode-specific) event queue.
+        let mut gpu = Gpu::new(GpuConfig::tiny(), compute_app_trips(64, 400));
+        gpu.set_sim_lanes(4);
+        gpu.run_until(Femtos::from_micros(1));
+        assert!(!gpu.is_done());
+        gpu.heap.clear();
+        for cu in &mut gpu.cus {
+            cu.next_cycle = IDLE;
+        }
+        match gpu.run_to_outcome(Femtos::from_micros(1000)) {
+            RunOutcome::NoProgress { now, committed } => {
+                assert_eq!(now, Femtos::from_micros(1));
+                assert_eq!(committed, 0);
+            }
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_progress_on_stalled_window_sharded_matches_serial() {
+        // A transition stall longer than the meter window must be declared
+        // at the identical simulated time whether the window between
+        // chunks is executed serially or sharded.
+        let outcome_at = |lanes: usize| {
+            let mut gpu = Gpu::new(GpuConfig::tiny(), compute_app_trips(64, 400));
+            gpu.set_sim_lanes(lanes);
+            gpu.run_until(Femtos::from_micros(1));
+            let all: Vec<usize> = (0..gpu.n_cus()).collect();
+            gpu.set_frequency_of(&all, Frequency::from_mhz(1300), Femtos::from_micros(100_000));
+            let mut meter = ProgressMeter::with_window(8);
+            gpu.run_metered(Femtos::from_micros(1_000_000), &mut meter)
+        };
+        let serial = outcome_at(1);
+        assert!(matches!(serial, RunOutcome::NoProgress { .. }), "got {serial:?}");
+        assert_eq!(serial, outcome_at(2));
+        assert_eq!(serial, outcome_at(8));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Sharded per-CU lane execution.
+//!
+//! The serial event loop in [`crate::gpu::Gpu`] pops a global heap in
+//! `(time, cu)` order and steps one CU at a time. This module runs the same
+//! simulation as a set of per-CU *lanes*: each CU advances independently
+//! through purely CU-local work (its own clock, wavefront slots and L1),
+//! and only the steps that touch shared state — L2/DRAM accesses, stores,
+//! workgroup retirement/dispatch — are replayed by a single coordinator in
+//! exactly the serial loop's `(time, cu)` order against the real
+//! [`crate::mem::MemSystem`]. Because CU-local steps read and write nothing
+//! outside their CU, and every shared-state step executes in the serial
+//! order with the serial memory state, all observable results (epoch stats,
+//! telemetry, snapshots, completion times) are **bit-identical** at any
+//! lane count. See DESIGN.md §11 for the full determinism argument.
+//!
+//! Synchronization is sub-window bounded: a run window `[start, end)` is
+//! cut into sub-windows of an adaptive length (measured in cycles of the
+//! fastest CU clock). Within a sub-window, lanes advance in parallel on an
+//! [`exec::WorkerPool`] until they yield (next step needs shared state),
+//! park (reached the sub-window end) or drain idle; the coordinator then
+//! merges the yields serially. The sub-window length adapts toward a target
+//! yield density: long windows amortize pool dispatch for compute-heavy
+//! phases, short windows bound the serial re-advance after each merged
+//! step, and a dense-yield fallback coordinates inline (no pool hop) when
+//! nearly every lane is yielding anyway (memory-bound phases).
+
+use crate::cu::{Cu, LaneStop, IDLE};
+use crate::gpu::{CuAccess, LaunchState};
+use crate::kernel::Kernel;
+use crate::mem::MemSystem;
+use crate::time::Femtos;
+use exec::WorkerPool;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lane count from `PCSTALL_SIM_LANES` (default 1 = serial, clamped to
+/// [1, 64]).
+pub fn lanes_from_env() -> usize {
+    match std::env::var("PCSTALL_SIM_LANES") {
+        Ok(v) => v.trim().parse::<usize>().map_or(1, |n| n.clamp(1, 64)),
+        Err(_) => 1,
+    }
+}
+
+/// Everything the lane coordinator borrows from the GPU for one window.
+pub(crate) struct ShardCtx<'a> {
+    pub(crate) cus: &'a mut [Cu],
+    pub(crate) mem: &'a mut MemSystem,
+    pub(crate) launch: &'a mut LaunchState,
+    pub(crate) kernels: &'a [Kernel],
+    pub(crate) lanes: usize,
+    pub(crate) pool: Option<&'a Arc<WorkerPool>>,
+}
+
+/// Per-lane [`CuAccess`] for the dispatcher during the merge phase: CUs
+/// live behind per-lane mutexes while the coordinator runs.
+struct CellCus<'a, 'b>(&'a [Mutex<&'b mut Cu>]);
+
+impl CuAccess for CellCus<'_, '_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn with_cu<R>(&mut self, i: usize, f: impl FnOnce(&mut Cu) -> R) -> R {
+        f(&mut lock(&self.0[i]))
+    }
+}
+
+fn lock<'m, 'c>(m: &'m Mutex<&'c mut Cu>) -> MutexGuard<'m, &'c mut Cu> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Free-slot count at which a lane becomes *dispatch-vulnerable* (see
+/// [`Cu::advance_local`]): a workgroup retiring on any CU triggers a
+/// round-robin refill over **all** CUs, and each `EndKernel` step frees one
+/// slot individually, so mid-kernel a busy CU can accumulate a workgroup's
+/// worth of free slots and receive a dispatch at another lane's retirement
+/// time. While undispatched workgroups remain, such lanes must stay on the
+/// merge frontier. With nothing left to dispatch the threshold is
+/// `usize::MAX` (immune): the next kernel only launches once every CU has
+/// drained idle, and idle lanes don't run ahead.
+fn dispatch_slots(launch: &LaunchState, kernels: &[Kernel]) -> usize {
+    match kernels.get(launch.kernel_idx) {
+        Some(k) if launch.next_wg < k.workgroups => k.wg_wavefronts as usize,
+        _ => usize::MAX,
+    }
+}
+
+/// Per-thread ready-list scratch for lane advancement (newtype so the
+/// `exec::with_arena` type key can't collide with other arena users).
+#[derive(Default)]
+struct LaneScratch(Vec<(u64, usize)>);
+
+/// Sub-window length bounds, in cycles of the fastest CU clock. The lower
+/// bound keeps pool-dispatch overhead amortized over real work; the upper
+/// bound caps how much a lane can serially re-advance after a merged step.
+const Q_MIN_CYCLES: u64 = 16;
+const Q_MAX_CYCLES: u64 = 4096;
+
+/// Advances the simulation from `start` to `end` (exclusive) in sharded
+/// mode. On return every CU is parked at or beyond `end` (or idle), the
+/// memory system and launch state have seen exactly the accesses the
+/// serial loop would have issued, in the same order.
+pub(crate) fn run_window(ctx: ShardCtx<'_>, start: Femtos, end: Femtos) {
+    let ShardCtx { cus, mem, launch, kernels, lanes, pool } = ctx;
+    let n = cus.len();
+    debug_assert!(n > 1 && lanes > 1);
+    // Frequencies only change between run windows, so the fastest clock —
+    // the sub-window length unit — is fixed for the whole window.
+    let min_period = cus.iter().map(Cu::period).min().expect("at least one CU");
+    let cells: Vec<Mutex<&mut Cu>> = cus.iter_mut().map(Mutex::new).collect();
+    let pool = match pool {
+        Some(p) => Arc::clone(p),
+        None => exec::global_pool(),
+    };
+
+    let mut q_cycles: u64 = 64;
+    let mut dense = false;
+    let mut runnable: Vec<usize> = Vec::with_capacity(n);
+    let mut pending: BinaryHeap<Reverse<(Femtos, usize)>> = BinaryHeap::with_capacity(n);
+    let mut woken: Vec<usize> = Vec::new();
+    let mut scratch: Vec<(u64, usize)> = Vec::new();
+    let yield_target = (n / 4).max(1);
+
+    let mut s = start;
+    while s < end {
+        let sw = (s + min_period * q_cycles).min(end);
+        runnable.clear();
+        runnable.extend((0..n).filter(|&i| lock(&cells[i]).next_cycle < sw));
+
+        // Phase A: every runnable lane advances independently to its first
+        // yield in [s, sw), or parks at sw, or drains idle. Lane-local
+        // steps touch only the lane's own CU, so order between lanes is
+        // irrelevant — this is the parallel phase.
+        debug_assert!(pending.is_empty());
+        let ds = dispatch_slots(launch, kernels);
+        if !dense && runnable.len() > 1 {
+            let stops = pool.map_capped(&runnable, lanes, |&i| {
+                exec::with_arena(LaneScratch::default, |sb| {
+                    lock(&cells[i]).advance_local(sw, kernels, ds, &mut sb.0)
+                })
+            });
+            for (&i, stop) in runnable.iter().zip(stops) {
+                if let LaneStop::Yield(t) = stop {
+                    pending.push(Reverse((t, i)));
+                }
+            }
+        } else {
+            for &i in &runnable {
+                if let LaneStop::Yield(t) =
+                    lock(&cells[i]).advance_local(sw, kernels, ds, &mut scratch)
+                {
+                    pending.push(Reverse((t, i)));
+                }
+            }
+        }
+
+        // Merge phase: replay shared-state steps in (time, cu) order — the
+        // serial loop's pop order — against the real memory system, then
+        // let the stepped lane (and any lanes woken by dispatch) continue
+        // toward the sub-window end.
+        let mut yields = 0usize;
+        while let Some(Reverse((t, i))) = pending.pop() {
+            woken.clear();
+            {
+                let mut cu = lock(&cells[i]);
+                if cu.next_cycle != t {
+                    // Superseded: the lane already advanced past this yield
+                    // (e.g. a duplicate wake re-advanced it). The live entry
+                    // for its current next_cycle is elsewhere in `pending`.
+                    continue;
+                }
+                let outcome = cu.step(t, mem, kernels);
+                drop(cu);
+                yields += 1;
+                for _ in 0..outcome.workgroups_done {
+                    launch.on_workgroup_done(t, kernels, &mut CellCus(&cells), &mut |j, _next| {
+                        woken.push(j)
+                    });
+                }
+            }
+            woken.sort_unstable();
+            woken.dedup();
+            // Dispatch may have consumed workgroups (or launched a new
+            // kernel), so refresh the vulnerability threshold before
+            // re-advancing.
+            let ds = dispatch_slots(launch, kernels);
+            for j in std::iter::once(i).chain(woken.iter().copied().filter(|&j| j != i)) {
+                if let LaneStop::Yield(t2) =
+                    lock(&cells[j]).advance_local(sw, kernels, ds, &mut scratch)
+                {
+                    pending.push(Reverse((t2, j)));
+                }
+            }
+        }
+
+        // Adapt the sub-window to the observed yield density. None of this
+        // affects results — only how work is scheduled onto lanes.
+        dense = yields > n;
+        if yields > 2 * yield_target {
+            q_cycles = (q_cycles / 2).max(Q_MIN_CYCLES);
+        } else if 2 * yields < yield_target {
+            q_cycles = (q_cycles * 2).min(Q_MAX_CYCLES);
+        }
+        s = sw;
+    }
+
+    debug_assert!(cells.iter().all(|c| {
+        let nc = lock(c).next_cycle;
+        nc == IDLE || nc >= end
+    }));
+}

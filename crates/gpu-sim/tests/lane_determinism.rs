@@ -1,0 +1,117 @@
+//! Cross-lane determinism suite: the sharded per-CU lane scheduler
+//! (`PCSTALL_SIM_LANES` > 1) must be observationally *bit-identical* to
+//! the serial event loop on the full Table II workload suite — epoch
+//! stats, telemetry, snapshots and completion behavior — and snapshots
+//! taken mid-run under sharded execution must roundtrip bit-exactly.
+//!
+//! ci.sh runs this suite under both `PCSTALL_SIM_LANES=1` and `=4`, so the
+//! environment default path is pinned as well as the explicit setters.
+
+use gpu_sim::prelude::*;
+use workloads::registry::{all, Scale};
+
+/// 16 CUs keeps the suite fast while still exercising real cross-CU
+/// contention in L2/DRAM and round-robin dispatch.
+fn cfg() -> GpuConfig {
+    GpuConfig::small()
+}
+
+/// Runs `epochs` 1 µs epochs at `lanes`, returning per-epoch stats and the
+/// final snapshot bytes.
+fn run_lanes(app: &App, lanes: usize, epochs: usize) -> (Vec<EpochStats>, Vec<u8>) {
+    let mut gpu = Gpu::new(cfg(), app.clone());
+    gpu.set_sim_lanes(lanes);
+    let mut stats = Vec::new();
+    for _ in 0..epochs {
+        stats.push(gpu.run_epoch(Femtos::from_micros(1)));
+    }
+    (stats, gpu.save_snapshot())
+}
+
+#[test]
+fn full_suite_bit_identical_at_lanes_1_2_8() {
+    for w in all() {
+        let app = (w.build)(Scale::Quick);
+        let (serial, serial_snap) = run_lanes(&app, 1, 6);
+        for lanes in [2, 8] {
+            let (sharded, sharded_snap) = run_lanes(&app, lanes, 6);
+            for (e, (a, b)) in serial.iter().zip(&sharded).enumerate() {
+                assert_eq!(a, b, "{}: epoch {e} stats diverged at {lanes} lanes", w.name);
+            }
+            assert_eq!(
+                serial_snap, sharded_snap,
+                "{}: snapshot bytes diverged at {lanes} lanes",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn env_default_matches_explicit_serial() {
+    // Whatever PCSTALL_SIM_LANES is set to (ci runs this file at 1 and 4),
+    // the defaulted GPU must match an explicitly serial one bit-for-bit.
+    let app = workloads::registry::by_name("xsbench", Scale::Quick).unwrap();
+    let mut defaulted = Gpu::new(cfg(), app.clone());
+    assert_eq!(defaulted.sim_lanes(), lanes_from_env());
+    let mut serial = Gpu::new(cfg(), app);
+    serial.set_sim_lanes(1);
+    for e in 0..6 {
+        let a = defaulted.run_epoch(Femtos::from_micros(1));
+        let b = serial.run_epoch(Femtos::from_micros(1));
+        assert_eq!(a, b, "epoch {e} diverged from serial under the env default");
+    }
+    assert_eq!(defaulted.save_snapshot(), serial.save_snapshot());
+}
+
+#[test]
+fn midrun_snapshot_under_sharded_execution_roundtrips_bit_exact() {
+    // Snapshot a GPU mid-run while it executes sharded; the restored GPU
+    // must be indistinguishable from the original continuing in place —
+    // whether the continuation itself runs sharded or serial.
+    for name in ["lulesh", "dgemm", "hacc"] {
+        let app = workloads::registry::by_name(name, Scale::Quick).unwrap();
+        let mut gpu = Gpu::new(cfg(), app);
+        gpu.set_sim_lanes(8);
+        for _ in 0..3 {
+            gpu.run_epoch(Femtos::from_micros(1));
+        }
+        assert!(!gpu.is_done(), "{name}: must still be mid-run at the snapshot point");
+        let snap = gpu.save_snapshot();
+
+        let mut restored = Gpu::load_snapshot(&snap).expect("mid-run snapshot decodes");
+        restored.set_sim_lanes(8);
+        let mut restored_serial = Gpu::load_snapshot(&snap).expect("mid-run snapshot decodes");
+        restored_serial.set_sim_lanes(1);
+        for e in 0..3 {
+            let a = gpu.run_epoch(Femtos::from_micros(1));
+            let b = restored.run_epoch(Femtos::from_micros(1));
+            let c = restored_serial.run_epoch(Femtos::from_micros(1));
+            assert_eq!(a, b, "{name}: epoch {e} diverged after sharded restore");
+            assert_eq!(a, c, "{name}: epoch {e} diverged after serial restore");
+        }
+        let final_snap = gpu.save_snapshot();
+        assert_eq!(final_snap, restored.save_snapshot(), "{name}: sharded continuation");
+        assert_eq!(final_snap, restored_serial.save_snapshot(), "{name}: serial continuation");
+    }
+}
+
+#[test]
+fn progress_meter_no_false_positives_across_lanes_on_suite() {
+    // RunOutcome::NoProgress aggregates the retired-instruction watermark
+    // over all CUs; under sharded execution the aggregate must behave
+    // exactly as in serial mode: every workload runs to completion with
+    // the default meter (no false positive), at the identical time.
+    for w in all() {
+        let app = (w.build)(Scale::Quick);
+        let deadline = Femtos::from_micros(100_000);
+        let mut serial = Gpu::new(cfg(), app.clone());
+        serial.set_sim_lanes(1);
+        let expect = serial.run_to_outcome(deadline);
+        assert!(expect.is_completed(), "{}: serial run must complete, got {expect:?}", w.name);
+        let mut sharded = Gpu::new(cfg(), app);
+        sharded.set_sim_lanes(4);
+        let got = sharded.run_to_outcome(deadline);
+        assert_eq!(expect, got, "{}: sharded outcome diverged", w.name);
+    }
+}

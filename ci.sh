@@ -80,4 +80,10 @@ PCSTALL_SIM_LANES=4 cargo test -q -p gpu-sim --test lane_determinism
 echo "==> parsim smoke bench (serial-lane regression gate)"
 PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench parsim
 
+# The hotpath smoke re-measures the compute-bound probe set serially and
+# fails if any median regressed >10% (PCSTALL_HOTPATH_TOL) vs the
+# committed BENCH_hotpath.json: the epochs/sec trajectory only moves up.
+echo "==> hotpath smoke bench (epochs/sec regression gate)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench hotpath
+
 echo "CI OK"

@@ -1,0 +1,192 @@
+//! End-to-end hot-path throughput bench: whole-epoch simulation speed
+//! (epochs/sec) over the full Table II suite, serial and laned, with
+//! min/median/max over repetitions. Results go to
+//! `results/BENCH_hotpath.json` and are the locked-in trajectory for the
+//! hot-path speed campaign: every future PR runs the smoke gate against
+//! the committed numbers.
+//!
+//! Modes:
+//! - Full (default): measures all 16 workloads at 1 lane (the serial
+//!   event loop) and 4 lanes, `ROUNDS` repetitions each, and rewrites the
+//!   committed JSON. If `PCSTALL_HOTPATH_PREPR` names a previous full
+//!   output, its serial medians are embedded as the `pre_pr` baseline and
+//!   each row gains a `vs_pre_pr` speedup.
+//! - Smoke (`PCSTALL_BENCH_SMOKE=1`, the CI path): re-measures only the
+//!   compute-bound probe set serially and fails loudly if any median
+//!   regressed more than `PCSTALL_HOTPATH_TOL` (default 0.10 = 10%) below
+//!   the committed JSON, without overwriting it.
+//!
+//! Honest numbers: this container has 1 core, so laned rows measure the
+//! single-threaded cost of the lane scheduler (same caveat as
+//! BENCH_parsim), and speedups are from serial-loop work reduction, not
+//! parallelism.
+
+use exec::WorkerPool;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::time::Femtos;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const EPOCHS_PER_ROUND: usize = 20;
+const ROUNDS: usize = 5;
+const SMOKE_ROUNDS: usize = 3;
+const LANED: usize = 4;
+/// The workloads the ≥1.3× tentpole target and the CI gate apply to:
+/// stepping-dominated apps where the scheduler and event queue are the
+/// cost, not the memory-system servers.
+const COMPUTE_BOUND: [&str; 3] = ["lulesh", "dgemm", "BwdSoft"];
+
+fn warmed_gpu(workload: &str) -> Gpu {
+    let app = workloads::by_name(workload, workloads::Scale::Quick).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::small(), app);
+    gpu.run_epoch(Femtos::from_micros(2));
+    gpu
+}
+
+/// One repetition: epochs/sec for `EPOCHS_PER_ROUND` 1 µs epochs starting
+/// from a clone of `warm` at `lanes` lanes.
+fn one_round(warm: &Gpu, lanes: usize, pool: &Arc<WorkerPool>) -> f64 {
+    let mut gpu = warm.clone();
+    gpu.set_sim_lanes(lanes);
+    gpu.set_lane_pool(Arc::clone(pool));
+    let start = Instant::now();
+    for _ in 0..EPOCHS_PER_ROUND {
+        black_box(gpu.run_epoch(Femtos::from_micros(1)));
+    }
+    EPOCHS_PER_ROUND as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Pulls `"eps_median": <float>` for a `(workload, mode)` row out of the
+/// committed JSON. Hand-rolled on purpose: the bench writes this file
+/// itself in a fixed one-line-per-row shape and the crate deliberately has
+/// no JSON parser dependency.
+fn committed_median(json: &str, workload: &str, mode: &str) -> Option<f64> {
+    let key = format!("\"workload\": \"{workload}\", \"mode\": \"{mode}\"");
+    let row = &json[json.find(&key)?..];
+    let row = &row[..row.find('}')?];
+    let field = &row[row.find("\"eps_median\":")?..];
+    let rest = field.split_once(':')?.1;
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let smoke = std::env::var("PCSTALL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let tol: f64 = std::env::var("PCSTALL_HOTPATH_TOL")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.10);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pool = Arc::new(WorkerPool::new(LANED));
+    let path = bench::results_dir().join("BENCH_hotpath.json");
+
+    if smoke {
+        // Regression gate only; the committed JSON stays untouched.
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "[hotpath] FAIL: cannot read committed {} ({e}); run the full bench \
+                 (no PCSTALL_BENCH_SMOKE) to establish a baseline",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        let mut failed = false;
+        for workload in COMPUTE_BOUND {
+            let committed = committed_median(&json, workload, "serial").unwrap_or_else(|| {
+                eprintln!("[hotpath] FAIL: no serial row for {workload} in {}", path.display());
+                std::process::exit(1);
+            });
+            let warm = warmed_gpu(workload);
+            let got = bench::repeat_measure(SMOKE_ROUNDS, || one_round(&warm, 1, &pool));
+            let floor = committed * (1.0 - tol);
+            if got.median < floor {
+                eprintln!(
+                    "[hotpath] FAIL: {workload} serial regressed: median {:.1} epochs/sec \
+                     < {floor:.1} (committed {committed:.1} - {:.0}% tolerance)",
+                    got.median,
+                    tol * 100.0
+                );
+                failed = true;
+            } else {
+                println!(
+                    "[hotpath] {workload}: median {:.1} epochs/sec vs committed {committed:.1} \
+                     (floor {floor:.1}) OK",
+                    got.median
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("[hotpath] smoke OK ({:.0}% tolerance)", tol * 100.0);
+        return;
+    }
+
+    // Full mode: measure everything, then rewrite the committed file.
+    let pre_pr =
+        std::env::var("PCSTALL_HOTPATH_PREPR").ok().and_then(|p| std::fs::read_to_string(p).ok());
+    let mut rows = Vec::new();
+    let mut gate_speedups: Vec<(String, f64)> = Vec::new();
+    for w in workloads::registry::all() {
+        let warm = warmed_gpu(w.name);
+        let mut serial_median = 0.0;
+        for (mode, lanes) in [("serial", 1), ("lanes4", LANED)] {
+            let s = bench::repeat_measure(ROUNDS, || one_round(&warm, lanes, &pool));
+            if mode == "serial" {
+                serial_median = s.median;
+            }
+            let vs_serial = s.median / serial_median;
+            let vs_pre = pre_pr
+                .as_deref()
+                .and_then(|j| committed_median(j, w.name, mode))
+                .map(|base| s.median / base);
+            println!(
+                "hotpath[{:<8} {mode:>6}]: median {:.1} epochs/sec (min {:.1}, max {:.1}){}",
+                w.name,
+                s.median,
+                s.min,
+                s.max,
+                vs_pre.map(|v| format!(" — {v:.2}x vs pre-PR")).unwrap_or_default()
+            );
+            if mode == "serial" {
+                if let Some(v) = vs_pre {
+                    if COMPUTE_BOUND.contains(&w.name) {
+                        gate_speedups.push((w.name.to_string(), v));
+                    }
+                }
+            }
+            let vs_pre_field =
+                vs_pre.map(|v| format!(", \"vs_pre_pr\": {v:.3}")).unwrap_or_default();
+            rows.push(format!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{mode}\", {}, \
+                 \"vs_serial\": {vs_serial:.3}{vs_pre_field}}}",
+                w.name,
+                s.json_fields("eps")
+            ));
+        }
+    }
+    if !gate_speedups.is_empty() {
+        let worst = gate_speedups.iter().cloned().fold(f64::INFINITY, |a, (_, v)| a.min(v));
+        println!(
+            "compute-bound serial speedup vs pre-PR: {} (worst {worst:.2}x)",
+            gate_speedups
+                .iter()
+                .map(|(w, v)| format!("{w} {v:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let gate = COMPUTE_BOUND.map(|w| format!("\"{w}\"")).join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath_epochs_per_sec\",\n  \"platform\": \
+         \"small-16cu/quick/1us-epochs\",\n  \"cores\": {cores},\n  \
+         \"epochs_per_round\": {EPOCHS_PER_ROUND},\n  \"rounds\": {ROUNDS},\n  \
+         \"gate_workloads\": [{gate}],\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    harness::report::write_atomic(&path, &json).expect("write BENCH_hotpath.json");
+    println!("wrote {}", path.display());
+}

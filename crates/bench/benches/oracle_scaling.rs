@@ -31,25 +31,22 @@ fn warmed_gpu() -> Gpu {
     gpu
 }
 
-/// Median time per `sample_with` call on `pool`, in seconds.
-fn time_sample(pool: &WorkerPool, gpu: &Gpu, iters: u32) -> f64 {
+/// Samples/sec of `sample_with` on `pool`, summarized over `SAMPLES`
+/// repetitions (median headline, min/max/runs archived).
+fn sample_rate(pool: &WorkerPool, gpu: &Gpu, iters: u32) -> bench::RepStats {
     let states = FreqStates::paper();
     let domains = DomainMap::per_cu(gpu.n_cus());
     let duration = Femtos::from_micros(1);
     // Warm-up populates each lane's fork arena, so the timed region
     // measures steady-state (allocation-free) sampling.
     black_box(oracle::sample_with(pool, gpu, duration, &states, &domains));
-    let mut per_call: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                black_box(oracle::sample_with(pool, gpu, duration, &states, &domains));
-            }
-            start.elapsed().as_secs_f64() / iters as f64
-        })
-        .collect();
-    per_call.sort_by(|a, b| a.total_cmp(b));
-    per_call[per_call.len() / 2]
+    bench::repeat_measure(SAMPLES, || {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(oracle::sample_with(pool, gpu, duration, &states, &domains));
+        }
+        iters as f64 / start.elapsed().as_secs_f64()
+    })
 }
 
 fn main() {
@@ -62,8 +59,8 @@ fn main() {
     let mut base_rate = 0.0;
     for threads in THREAD_COUNTS {
         let pool = WorkerPool::new(threads);
-        let secs = time_sample(&pool, &gpu, iters);
-        let rate = 1.0 / secs;
+        let stats = sample_rate(&pool, &gpu, iters);
+        let rate = stats.median;
         if threads == 1 {
             base_rate = rate;
         }
@@ -73,7 +70,9 @@ fn main() {
             if threads == 1 { "" } else { "s" }
         );
         rows.push(format!(
-            "    {{\"threads\": {threads}, \"samples_per_sec\": {rate:.3}, \"speedup\": {speedup:.3}}}"
+            "    {{\"threads\": {threads}, \"samples_per_sec\": {rate:.3}, \
+             \"speedup\": {speedup:.3}, {}}}",
+            stats.json_fields("samples_per_sec")
         ));
     }
     println!(

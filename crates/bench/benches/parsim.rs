@@ -39,23 +39,22 @@ fn warmed_gpu(workload: &str) -> Gpu {
     gpu
 }
 
-/// Epochs/sec for `lanes` lanes starting from `warm`, best of `ROUNDS`
-/// rounds of `EPOCHS_PER_ROUND` epochs each. Best-of (not median) keeps the
-/// smoke regression gate robust against scheduler noise: a slow outlier
-/// round cannot fail CI, only a machine that is consistently slower.
-fn epochs_per_sec(warm: &Gpu, lanes: usize, pool: &Arc<WorkerPool>) -> f64 {
-    (0..ROUNDS)
-        .map(|_| {
-            let mut gpu = warm.clone();
-            gpu.set_sim_lanes(lanes);
-            gpu.set_lane_pool(Arc::clone(pool));
-            let start = Instant::now();
-            for _ in 0..EPOCHS_PER_ROUND {
-                black_box(gpu.run_epoch(Femtos::from_micros(1)));
-            }
-            EPOCHS_PER_ROUND as f64 / start.elapsed().as_secs_f64()
-        })
-        .fold(0.0, f64::max)
+/// Epochs/sec for `lanes` lanes starting from `warm`, summarized over
+/// `ROUNDS` rounds of `EPOCHS_PER_ROUND` epochs each. The median is the
+/// headline (and what the smoke gate compares): robust against a slow
+/// outlier round, unlike a single shot, while min/max and the raw runs go
+/// into the JSON so a suspicious number can be audited.
+fn epochs_per_sec(warm: &Gpu, lanes: usize, pool: &Arc<WorkerPool>) -> bench::RepStats {
+    bench::repeat_measure(ROUNDS, || {
+        let mut gpu = warm.clone();
+        gpu.set_sim_lanes(lanes);
+        gpu.set_lane_pool(Arc::clone(pool));
+        let start = Instant::now();
+        for _ in 0..EPOCHS_PER_ROUND {
+            black_box(gpu.run_epoch(Femtos::from_micros(1)));
+        }
+        EPOCHS_PER_ROUND as f64 / start.elapsed().as_secs_f64()
+    })
 }
 
 /// Pulls `"epochs_per_sec": <float>` out of the committed JSON's
@@ -81,8 +80,9 @@ fn main() {
     let path = bench::results_dir().join("BENCH_parsim.json");
 
     let probe_gpu = warmed_gpu(BASELINE_WORKLOAD);
-    let probe_rate = epochs_per_sec(&probe_gpu, 1, &pool);
-    println!("baseline_probe[{BASELINE_WORKLOAD}, 1 lane]: {probe_rate:.1} epochs/sec");
+    let probe = epochs_per_sec(&probe_gpu, 1, &pool);
+    let probe_rate = probe.median;
+    println!("baseline_probe[{BASELINE_WORKLOAD}, 1 lane]: {probe_rate:.1} epochs/sec (median)");
 
     if smoke {
         // Regression gate only; the committed JSON stays untouched.
@@ -120,7 +120,8 @@ fn main() {
         let warm = warmed_gpu(workload);
         let mut base_rate = 0.0;
         for lanes in LANE_COUNTS {
-            let rate = epochs_per_sec(&warm, lanes, &pool);
+            let stats = epochs_per_sec(&warm, lanes, &pool);
+            let rate = stats.median;
             if lanes == 1 {
                 base_rate = rate;
             }
@@ -131,7 +132,8 @@ fn main() {
             );
             rows.push(format!(
                 "    {{\"workload\": \"{workload}\", \"lanes\": {lanes}, \
-                 \"epochs_per_sec\": {rate:.3}, \"speedup\": {speedup:.3}}}"
+                 \"epochs_per_sec\": {rate:.3}, \"speedup\": {speedup:.3}, {}}}",
+                stats.json_fields("epochs_per_sec")
             ));
         }
     }
@@ -145,7 +147,8 @@ fn main() {
          \"small-16cu/quick/1us-epochs\",\n  \"cores\": {cores},\n  \
          \"epochs_per_round\": {EPOCHS_PER_ROUND},\n  \"rounds\": {ROUNDS},\n  \
          \"baseline_probe\": {{\"workload\": \"{BASELINE_WORKLOAD}\", \"lanes\": 1, \
-         \"epochs_per_sec\": {probe_rate:.3}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"epochs_per_sec\": {probe_rate:.3}, {}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        probe.json_fields("epochs_per_sec"),
         rows.join(",\n")
     );
     harness::report::write_atomic(&path, &json).expect("write BENCH_parsim.json");

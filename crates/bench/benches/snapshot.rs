@@ -47,17 +47,15 @@ fn bench_cfg(policy: PolicyKind) -> RunConfig {
     cfg
 }
 
-/// Median seconds of `f` over `rounds` rounds.
-fn median_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
-    let mut times: Vec<f64> = (0..rounds)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    times[times.len() / 2]
+/// Milliseconds of `f` per round over `rounds` rounds, summarized (median
+/// headline, min/max/runs archived in the JSON; milliseconds keep the
+/// fixed 3-decimal JSON fields meaningful for sub-second rounds).
+fn round_ms(rounds: usize, mut f: impl FnMut()) -> bench::RepStats {
+    bench::repeat_measure(rounds, || {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e3
+    })
 }
 
 fn main() {
@@ -71,16 +69,18 @@ fn main() {
     let warmed = snapcache::cold_warmup_gpu(&app, &base, WARMUP_EPOCHS);
     let bytes = warmed.save_snapshot();
     let mb = bytes.len() as f64 / 1e6;
-    let save_s = median_secs(rounds, || {
+    let save_stats = round_ms(rounds, || {
         for _ in 0..iters {
             black_box(warmed.save_snapshot());
         }
-    }) / iters as f64;
-    let restore_s = median_secs(rounds, || {
+    });
+    let restore_stats = round_ms(rounds, || {
         for _ in 0..iters {
             black_box(Gpu::load_snapshot(&bytes).expect("own snapshot decodes"));
         }
-    }) / iters as f64;
+    });
+    let save_s = save_stats.median / 1e3 / iters as f64;
+    let restore_s = restore_stats.median / 1e3 / iters as f64;
     let save_mb_s = mb / save_s;
     let restore_mb_s = mb / restore_s;
     println!(
@@ -94,14 +94,14 @@ fn main() {
         session.run(&mut []);
         black_box(session.epochs());
     };
-    let cold_s = median_secs(rounds, || {
+    let cold_stats = round_ms(rounds, || {
         for &p in &ps {
             let cfg = bench_cfg(p);
             let gpu = snapcache::cold_warmup_gpu(&app, &cfg, WARMUP_EPOCHS);
             run_tail(Session::with_warm_gpu(&app, &cfg, gpu));
         }
     });
-    let warm_s = median_secs(rounds, || {
+    let warm_stats = round_ms(rounds, || {
         // A fresh in-memory store per round: the first policy pays the
         // warmup + snapshot, the rest restore — exactly what a sweep sees.
         let mut store = SnapshotStore::in_memory(4);
@@ -112,6 +112,8 @@ fn main() {
             run_tail(Session::with_warm_gpu(&app, &cfg, gpu));
         }
     });
+    let cold_s = cold_stats.median / 1e3;
+    let warm_s = warm_stats.median / 1e3;
     let speedup = cold_s / warm_s;
     println!(
         "warmup reuse: {} policies x ({WARMUP_EPOCHS} warmup + {RUN_EPOCHS} run) epochs — \
@@ -127,9 +129,13 @@ fn main() {
          \"restore_mb_per_s\": {restore_mb_s:.1},\n  \"grid_policies\": {},\n  \
          \"warmup_epochs\": {WARMUP_EPOCHS},\n  \"run_epochs\": {RUN_EPOCHS},\n  \
          \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \
-         \"warm_reuse_speedup\": {speedup:.3}\n}}\n",
+         \"warm_reuse_speedup\": {speedup:.3},\n  {},\n  {},\n  {},\n  {}\n}}\n",
         bytes.len(),
         ps.len(),
+        save_stats.json_fields("save_round_ms"),
+        restore_stats.json_fields("restore_round_ms"),
+        cold_stats.json_fields("cold_ms"),
+        warm_stats.json_fields("warm_ms"),
     );
     let path = bench::results_dir().join("BENCH_snapshot.json");
     harness::report::write_atomic(&path, &json).expect("write BENCH_snapshot.json");

@@ -41,40 +41,57 @@ fn main() {
     let threads = harness::sweeps::default_threads();
     let n_cells = apps.len() * policies.len();
 
+    // Reps per rate: the hang plan is re-armed identically each rep (same
+    // seed), so only the wall clock varies; the median is the headline.
+    let reps = if smoke { 1 } else { 3 };
     let clean = run_grid(&apps, &policies, &base, threads);
     let mut points: Vec<String> = Vec::new();
     for &rate in rates {
-        let plan = (rate > 0.0).then(|| {
-            ChaosPlan::from_config(
-                &FaultConfig { seed: scfg.seed, hang_rate: rate, ..FaultConfig::default() },
-                n_cells,
-            )
+        let make_plan = || {
+            (rate > 0.0).then(|| {
+                ChaosPlan::from_config(
+                    &FaultConfig { seed: scfg.seed, hang_rate: rate, ..FaultConfig::default() },
+                    n_cells,
+                )
+            })
+        };
+        let armed = make_plan().as_ref().map_or(0, ChaosPlan::remaining);
+        let mut last_grid = None;
+        let wall_stats = bench::repeat_measure(reps, || {
+            let plan = make_plan();
+            let t0 = Instant::now();
+            let grid = run_grid_supervised(&apps, &policies, &base, threads, &scfg, plan.as_ref());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let survivors_clean = grid
+                .cells
+                .iter()
+                .zip(&clean)
+                .all(|(got, want)| got.as_ref().is_none_or(|c| c == want));
+            assert!(survivors_clean, "supervision must never alter a surviving cell");
+            last_grid = Some(grid);
+            ms
         });
-        let armed = plan.as_ref().map_or(0, ChaosPlan::remaining);
-        let t0 = Instant::now();
-        let grid = run_grid_supervised(&apps, &policies, &base, threads, &scfg, plan.as_ref());
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let survivors_clean =
-            grid.cells.iter().zip(&clean).all(|(got, want)| got.as_ref().is_none_or(|c| c == want));
+        let wall_ms = wall_stats.median;
+        let grid = last_grid.expect("at least one rep ran");
         println!(
             "hang rate {rate:.2}: {armed} armed, {} timeouts, {} retries, {} recovered, \
-             {}/{n_cells} completed in {wall_ms:.0} ms (survivors clean: {survivors_clean})",
+             {}/{n_cells} completed in {wall_ms:.0} ms median of {reps} (survivors clean)",
             grid.report.timeouts,
             grid.report.retries,
             grid.report.recovered,
             grid.cells.iter().flatten().count(),
         );
-        assert!(survivors_clean, "supervision must never alter a surviving cell");
         points.push(format!(
             "{{\"rate\":{rate:.4},\"armed\":{armed},\"timeouts\":{},\"retries\":{},\
              \"recovered\":{},\"breaker_trips\":{},\"unrecovered\":{},\"completed\":{},\
-             \"survivors_clean\":{survivors_clean},\"wall_ms\":{wall_ms:.1}}}",
+             \"survivors_clean\":true,\"wall_ms\":{wall_ms:.1}, {}}}",
             grid.report.timeouts,
             grid.report.retries,
             grid.report.recovered,
             grid.report.breaker_trips,
             grid.report.unrecovered,
             grid.cells.iter().flatten().count(),
+            wall_stats.json_fields("wall_ms"),
         ));
     }
 

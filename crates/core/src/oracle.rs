@@ -231,10 +231,11 @@ pub fn sample_with(
 
     // Record slot identities from the un-forked state.
     for cu in 0..n_cus {
-        for (slot, wf) in gpu.cu(cu).wavefronts().iter().enumerate() {
-            wf_start_pc[cu][slot] = wf.pc();
+        let c = gpu.cu(cu);
+        for (slot, wf) in c.wavefronts().iter().enumerate() {
+            wf_start_pc[cu][slot] = c.wf_pc(slot);
             wf_kernel[cu][slot] = wf.kernel_idx;
-            wf_present[cu][slot] = wf.active && !wf.finished;
+            wf_present[cu][slot] = c.wf_is_live(slot);
         }
     }
 

@@ -550,11 +550,12 @@ impl DvfsPolicy for PcStallPolicy {
         for (d, cus) in ctx.domains.iter() {
             for &cu in cus {
                 let tbl = self.table_index(ctx, cu);
-                for (slot, wf) in ctx.gpu.cu(cu).wavefronts().iter().enumerate() {
-                    if !wf.active || wf.finished {
+                let c = ctx.gpu.cu(cu);
+                for (slot, wf) in c.wavefronts().iter().enumerate() {
+                    if !c.wf_is_live(slot) {
                         continue;
                     }
-                    let key = table_pc(wf.kernel_idx, wf.pc());
+                    let key = table_pc(wf.kernel_idx, c.wf_pc(slot));
                     let class = self.cfg.blocked_bit && wf.mem_blocked_until > ctx.gpu.now();
                     let model = self.tables[tbl]
                         .lookup_classed(key, class)
@@ -658,12 +659,13 @@ impl DvfsPolicy for AccPcPolicy {
         for (d, cus) in ctx.domains.iter() {
             for &cu in cus {
                 let tbl = self.table_index(ctx, cu);
-                for (slot, wf) in ctx.gpu.cu(cu).wavefronts().iter().enumerate() {
-                    if !wf.active || wf.finished {
+                let c = ctx.gpu.cu(cu);
+                for (slot, wf) in c.wavefronts().iter().enumerate() {
+                    if !c.wf_is_live(slot) {
                         continue;
                     }
                     let model = self.tables[tbl]
-                        .lookup(table_pc(wf.kernel_idx, wf.pc()))
+                        .lookup(table_pc(wf.kernel_idx, c.wf_pc(slot)))
                         .unwrap_or(self.last_wf[cu][slot]);
                     domain_models[d] = domain_models[d] + model;
                 }

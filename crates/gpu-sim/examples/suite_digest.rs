@@ -1,0 +1,63 @@
+//! Prints a per-workload digest of observable simulator behavior over the
+//! full Table II suite: epoch stats and snapshot bytes after six 1 µs
+//! epochs at 1 and 4 lanes, plus the run-to-completion outcome.
+//!
+//! The digest is the bit-exactness oracle for hot-path work: run it before
+//! and after a perf PR (`cargo run --release -p gpu-sim --example
+//! suite_digest`) and diff the output. Any changed line means observable
+//! behavior changed, which a perf PR must not do.
+
+use gpu_sim::prelude::*;
+use workloads::registry::{all, Scale};
+
+/// FNV-1a, 64-bit. Deliberately dependency-free; this is a diff aid, not a
+/// cryptographic commitment.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn digest_epochs(app: &App, lanes: usize) -> u64 {
+    let mut gpu = Gpu::new(GpuConfig::small(), app.clone());
+    gpu.set_sim_lanes(lanes);
+    let mut h = Fnv::new();
+    for _ in 0..6 {
+        let stats = gpu.run_epoch(Femtos::from_micros(1));
+        h.write(format!("{stats:?}").as_bytes());
+    }
+    h.write(&gpu.save_snapshot());
+    h.0
+}
+
+fn digest_completion(app: &App) -> u64 {
+    let mut gpu = Gpu::new(GpuConfig::small(), app.clone());
+    gpu.set_sim_lanes(1);
+    let outcome = gpu.run_to_outcome(Femtos::from_micros(100_000));
+    let mut h = Fnv::new();
+    h.write(format!("{outcome:?}").as_bytes());
+    h.write(&gpu.save_snapshot());
+    h.0
+}
+
+fn main() {
+    for w in all() {
+        let app = (w.build)(Scale::Quick);
+        println!(
+            "{:<8} lanes1={:016x} lanes4={:016x} complete={:016x}",
+            w.name,
+            digest_epochs(&app, 1),
+            digest_epochs(&app, 4),
+            digest_completion(&app),
+        );
+    }
+}

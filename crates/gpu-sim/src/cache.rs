@@ -145,8 +145,15 @@ impl Cache {
     /// Looks up `addr`, updating LRU state; on a miss the line is filled
     /// (allocate-on-miss, evicting the set's LRU line). Returns whether the
     /// access hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr >> self.cfg.line_shift;
+        self.access_line(addr >> self.cfg.line_shift)
+    }
+
+    /// [`Cache::access`] for a caller that already decomposed `addr` into a
+    /// line number (with a line shift matching this cache's geometry).
+    #[inline]
+    pub fn access_line(&mut self, line: u64) -> bool {
         let set = (line & (self.cfg.sets as u64 - 1)) as usize;
         let tag = line;
         let ways = self.cfg.ways as usize;
@@ -167,6 +174,7 @@ impl Cache {
     }
 
     /// Probes without modifying state. Returns whether `addr` is resident.
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
         let line = addr >> self.cfg.line_shift;
         let set = (line & (self.cfg.sets as u64 - 1)) as usize;

@@ -7,7 +7,7 @@
 
 use crate::cache::Cache;
 use crate::config::GpuConfig;
-use crate::isa::Op;
+use crate::isa::{pc_of_index, Op, Pc};
 use crate::kernel::Kernel;
 use crate::mem::{LocalOnly, MemoryPort};
 use crate::stats::{CuEpochStats, OpMix, WfEpochStats};
@@ -19,15 +19,24 @@ use snapshot::{Decoder, Encoder, SnapError, Snapshot};
 /// Sentinel "no scheduled cycle" time for fully idle CUs.
 pub const IDLE: Femtos = Femtos(u64::MAX);
 
-/// Reusable scratch for [`Cu::collect_into`]: age-sorting buffers that
-/// would otherwise be allocated fresh for every CU on every epoch.
+/// `wf_state` flag: the slot holds a dispatched, unretired wavefront.
+const WF_ACTIVE: u8 = 1;
+/// `wf_state` flag: the wavefront is blocked at a workgroup barrier.
+const WF_BARRIER: u8 = 1 << 1;
+/// `wf_state` flag: the wavefront has executed `EndKernel`.
+const WF_FINISHED: u8 = 1 << 2;
+
+/// Reusable scratch for [`Cu::collect_into`] and the per-step ready list:
+/// buffers that would otherwise be allocated fresh for every CU step or
+/// every epoch collection.
 ///
 /// `Clone` intentionally produces an *empty* scratch: the buffers carry no
 /// state between epochs, so oracle forks (`Gpu::clone`) skip copying them.
 #[derive(Debug, Default)]
 pub struct CollectScratch {
-    ages: Vec<(u64, usize)>,
     rank: Vec<u32>,
+    /// Ready-list scratch for [`Cu::step_with`] in the serial event loop.
+    pub(crate) ready: Vec<u32>,
 }
 
 impl Clone for CollectScratch {
@@ -70,6 +79,22 @@ pub struct StepOutcome {
     /// Workgroups that completed in this step (multi-issue can retire the
     /// final wavefronts of several workgroups in one cycle).
     pub workgroups_done: u32,
+}
+
+/// What a CU's next scheduling step would touch, from the lane
+/// scheduler's point of view (see [`Cu::classify_step`]). Ordered by how
+/// much coordination the step needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum StepClass {
+    /// Touches only this CU's own state (including L1 probe-hits).
+    Local,
+    /// Reaches the shared L2/DRAM system but cannot retire a workgroup.
+    /// Executable inline during the merge phase below the frontier
+    /// horizon (see [`Cu::advance_merge`]).
+    Mem,
+    /// Contains an `EndKernel`, which may retire a workgroup and trigger
+    /// the GPU-level dispatcher. Always yields to the coordinator.
+    Dispatch,
 }
 
 /// Why [`Cu::advance_local`] stopped advancing a lane.
@@ -120,7 +145,26 @@ pub struct Cu {
     period: Femtos,
     /// Next scheduled cycle time ([`IDLE`] when nothing to do).
     pub next_cycle: Femtos,
+    /// Cold per-slot payload (identity, outstanding memory ops, telemetry).
     slots: Vec<Wavefront>,
+    // ---- hot per-slot scheduling state, struct-of-arrays ----
+    // The per-cycle ready scan reads only these dense arrays (one byte of
+    // flags, one wait time per slot), not the cold payload above.
+    /// [`WF_ACTIVE`] | [`WF_BARRIER`] | [`WF_FINISHED`] flags per slot.
+    wf_state: Vec<u8>,
+    /// Earliest time each slot may issue its next instruction.
+    wf_wait: Vec<Femtos>,
+    /// Current instruction index per slot (PC is `4 *` this).
+    wf_pc: Vec<u32>,
+    /// Dispatch order; the scheduler picks the smallest age first
+    /// ("oldest-first", the policy the paper attributes contention to).
+    wf_age: Vec<u64>,
+    /// Live slots (`WF_ACTIVE` set, `WF_FINISHED` clear) in `(age, slot)`
+    /// order — the scheduler's arbitration order, maintained incrementally
+    /// at dispatch and retirement so the ready scan never sorts.
+    sched_order: Vec<u32>,
+    /// Slots with `WF_ACTIVE` set (occupancy; the complement is free).
+    n_active: u32,
     wgs: Vec<WgState>,
     l1: Cache,
     l1_hit_lat: u64,
@@ -156,6 +200,12 @@ impl Clone for Cu {
             period: self.period,
             next_cycle: self.next_cycle,
             slots: self.slots.clone(),
+            wf_state: self.wf_state.clone(),
+            wf_wait: self.wf_wait.clone(),
+            wf_pc: self.wf_pc.clone(),
+            wf_age: self.wf_age.clone(),
+            sched_order: self.sched_order.clone(),
+            n_active: self.n_active,
             wgs: self.wgs.clone(),
             l1: self.l1.clone(),
             l1_hit_lat: self.l1_hit_lat,
@@ -185,6 +235,12 @@ impl Clone for Cu {
             period,
             next_cycle,
             slots,
+            wf_state,
+            wf_wait,
+            wf_pc,
+            wf_age,
+            sched_order,
+            n_active,
             wgs,
             l1,
             l1_hit_lat,
@@ -209,6 +265,12 @@ impl Clone for Cu {
         self.next_cycle = *next_cycle;
         // Element-wise Wavefront::clone_from keeps each slot's vectors.
         self.slots.clone_from(slots);
+        self.wf_state.clone_from(wf_state);
+        self.wf_wait.clone_from(wf_wait);
+        self.wf_pc.clone_from(wf_pc);
+        self.wf_age.clone_from(wf_age);
+        self.sched_order.clone_from(sched_order);
+        self.n_active = *n_active;
         self.wgs.clone_from(wgs);
         self.l1.clone_from(l1);
         self.l1_hit_lat = *l1_hit_lat;
@@ -234,6 +296,12 @@ impl Clone for Cu {
 /// `period` must be the decoded frequency's period and the workgroup table
 /// must pair the slot table — so a corrupted checkpoint cannot produce a CU
 /// whose cycle grid disagrees with its clock.
+///
+/// The wavefront region is encoded **interleaved**: each slot's hot SoA
+/// values (state flags, wait, PC, age) are written at the wire positions
+/// the pre-SoA `Wavefront` struct used for them, so the snapshot format is
+/// byte-identical to the AoS layout. `sched_order` and `n_active` are
+/// derived from the decoded state, never serialized.
 impl Snapshot for Cu {
     fn encode(&self, w: &mut Encoder) {
         let Cu {
@@ -242,6 +310,12 @@ impl Snapshot for Cu {
             period,
             next_cycle,
             slots,
+            wf_state,
+            wf_wait,
+            wf_pc,
+            wf_age,
+            sched_order: _, // derived from wf_state/wf_age on decode
+            n_active: _,    // derived from wf_state on decode
             wgs,
             l1,
             l1_hit_lat,
@@ -264,7 +338,35 @@ impl Snapshot for Cu {
         freq.encode(w);
         period.encode(w);
         next_cycle.encode(w);
-        slots.encode(w);
+        w.put_usize(slots.len());
+        for (i, wf) in slots.iter().enumerate() {
+            w.put_bool(wf_state[i] & WF_ACTIVE != 0);
+            w.put_u64(wf.uid);
+            w.put_u64(wf_age[i]);
+            w.put_u8(wf.wg_local);
+            w.put_u32(wf.kernel_idx);
+            w.put_u32(wf_pc[i]);
+            w.put_usize(wf.branch_iters.len());
+            for &it in &wf.branch_iters {
+                w.put_u16(it);
+            }
+            w.put_u64(wf.mem_counter);
+            wf.pending_loads.encode(w);
+            wf.pending_stores.encode(w);
+            wf_wait[i].encode(w);
+            wf.mem_blocked_until.encode(w);
+            w.put_bool(wf_state[i] & WF_BARRIER != 0);
+            wf.barrier_since.encode(w);
+            w.put_bool(wf_state[i] & WF_FINISHED != 0);
+            w.put_u32(wf.e_committed);
+            wf.e_stall.encode(w);
+            wf.e_barrier_stall.encode(w);
+            wf.e_sched_wait.encode(w);
+            wf.e_lead.encode(w);
+            w.put_u32(wf.e_start_pc_index);
+            w.put_bool(wf.e_start_blocked);
+            w.put_bool(wf.e_present);
+        }
         wgs.encode(w);
         l1.encode(w);
         w.put_u64(*l1_hit_lat);
@@ -284,12 +386,87 @@ impl Snapshot for Cu {
         e_op_mix.encode(w);
     }
     fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let id = r.take_usize()?;
+        let freq = Frequency::decode(r)?;
+        let period = Femtos::decode(r)?;
+        let next_cycle = Femtos::decode(r)?;
+        let n = r.take_len()?;
+        let mut slots = Vec::with_capacity(n);
+        let mut wf_state = Vec::with_capacity(n);
+        let mut wf_wait = Vec::with_capacity(n);
+        let mut wf_pc = Vec::with_capacity(n);
+        let mut wf_age = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut state = 0u8;
+            if r.take_bool()? {
+                state |= WF_ACTIVE;
+            }
+            let uid = r.take_u64()?;
+            wf_age.push(r.take_u64()?);
+            let wg_local = r.take_u8()?;
+            let kernel_idx = r.take_u32()?;
+            wf_pc.push(r.take_u32()?);
+            let branch_iters = {
+                let n = r.take_len()?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.take_u16()?);
+                }
+                v
+            };
+            let mem_counter = r.take_u64()?;
+            let pending_loads = Vec::<Femtos>::decode(r)?;
+            let pending_stores = Vec::<Femtos>::decode(r)?;
+            wf_wait.push(Femtos::decode(r)?);
+            let mem_blocked_until = Femtos::decode(r)?;
+            if r.take_bool()? {
+                state |= WF_BARRIER;
+            }
+            let barrier_since = Femtos::decode(r)?;
+            if r.take_bool()? {
+                state |= WF_FINISHED;
+            }
+            wf_state.push(state);
+            slots.push(Wavefront {
+                uid,
+                wg_local,
+                kernel_idx,
+                branch_iters,
+                mem_counter,
+                pending_loads,
+                pending_stores,
+                mem_blocked_until,
+                barrier_since,
+                e_committed: r.take_u32()?,
+                e_stall: Femtos::decode(r)?,
+                e_barrier_stall: Femtos::decode(r)?,
+                e_sched_wait: Femtos::decode(r)?,
+                e_lead: Femtos::decode(r)?,
+                e_start_pc_index: r.take_u32()?,
+                e_start_blocked: r.take_bool()?,
+                e_present: r.take_bool()?,
+            });
+        }
+        let mut sched_order: Vec<u32> = (0..n as u32)
+            .filter(|&i| {
+                let s = wf_state[i as usize];
+                s & WF_ACTIVE != 0 && s & WF_FINISHED == 0
+            })
+            .collect();
+        sched_order.sort_unstable_by_key(|&i| (wf_age[i as usize], i));
+        let n_active = wf_state.iter().filter(|&&s| s & WF_ACTIVE != 0).count() as u32;
         let cu = Cu {
-            id: r.take_usize()?,
-            freq: Frequency::decode(r)?,
-            period: Femtos::decode(r)?,
-            next_cycle: Femtos::decode(r)?,
-            slots: Vec::<Wavefront>::decode(r)?,
+            id,
+            freq,
+            period,
+            next_cycle,
+            slots,
+            wf_state,
+            wf_wait,
+            wf_pc,
+            wf_age,
+            sched_order,
+            n_active,
             wgs: Vec::<WgState>::decode(r)?,
             l1: Cache::decode(r)?,
             l1_hit_lat: r.take_u64()?,
@@ -325,8 +502,8 @@ impl Snapshot for Cu {
         if cu.issue_width == 0 {
             return Err(SnapError::invalid(format!("CU {} issue_width must be non-zero", cu.id)));
         }
-        for wf in &cu.slots {
-            if wf.active && wf.wg_local as usize >= cu.wgs.len() {
+        for (i, wf) in cu.slots.iter().enumerate() {
+            if cu.wf_state[i] & WF_ACTIVE != 0 && wf.wg_local as usize >= cu.wgs.len() {
                 return Err(SnapError::invalid(format!(
                     "CU {} wavefront {} references workgroup slot {} of {}",
                     cu.id,
@@ -350,6 +527,12 @@ impl Cu {
             period: freq.period(),
             next_cycle: IDLE,
             slots: (0..cfg.wf_slots).map(|_| Wavefront::empty()).collect(),
+            wf_state: vec![0; cfg.wf_slots],
+            wf_wait: vec![Femtos::ZERO; cfg.wf_slots],
+            wf_pc: vec![0; cfg.wf_slots],
+            wf_age: vec![0; cfg.wf_slots],
+            sched_order: Vec::with_capacity(cfg.wf_slots),
+            n_active: 0,
             wgs: vec![WgState::empty(); cfg.wf_slots],
             l1: Cache::new(cfg.l1),
             l1_hit_lat: cfg.l1_hit_cycles as u64,
@@ -396,18 +579,33 @@ impl Cu {
 
     /// Whether any live wavefront is resident.
     pub fn has_work(&self) -> bool {
-        self.slots.iter().any(|w| w.active && !w.finished)
+        !self.sched_order.is_empty()
     }
 
     /// Number of live wavefronts.
     pub fn live_wavefronts(&self) -> u32 {
-        self.slots.iter().filter(|w| w.active && !w.finished).count() as u32
+        self.sched_order.len() as u32
     }
 
-    /// Read-only view of the wavefront slots (used by predictors that need
-    /// each wavefront's *next* PC at epoch boundaries).
+    /// Read-only view of the wavefront slots' cold state (used by
+    /// predictors that read identity fields at epoch boundaries). The hot
+    /// scheduling fields live in SoA arrays; see [`Cu::wf_pc`] and
+    /// [`Cu::wf_is_live`].
     pub fn wavefronts(&self) -> &[Wavefront] {
         &self.slots
+    }
+
+    /// Slot `slot`'s current PC as a byte address.
+    #[inline]
+    pub fn wf_pc(&self, slot: usize) -> Pc {
+        pc_of_index(self.wf_pc[slot] as usize)
+    }
+
+    /// Whether slot `slot` holds a live (dispatched, unfinished) wavefront.
+    #[inline]
+    pub fn wf_is_live(&self, slot: usize) -> bool {
+        let s = self.wf_state[slot];
+        s & WF_ACTIVE != 0 && s & WF_FINISHED == 0
     }
 
     /// Tries to dispatch a workgroup of `wg_size` wavefronts of kernel
@@ -422,15 +620,7 @@ impl Cu {
         now: Femtos,
     ) -> bool {
         let wg_size = kernel.wg_wavefronts as usize;
-        let free: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| !w.active)
-            .map(|(i, _)| i)
-            .take(wg_size)
-            .collect();
-        if free.len() < wg_size {
+        if self.free_slots() < wg_size {
             return false;
         }
         let wg_local = self
@@ -439,16 +629,33 @@ impl Cu {
             .position(|g| !g.active)
             .expect("free wavefront slots imply a free workgroup slot");
         self.wgs[wg_local] = WgState { active: true, remaining: wg_size as u8, at_barrier: 0 };
-        for (k, &slot) in free.iter().enumerate() {
-            let wf = &mut self.slots[slot];
-            wf.dispatch(
-                first_uid + k as u64,
-                first_age + k as u64,
+        let mut k = 0u64;
+        for slot in 0..self.slots.len() {
+            if k == wg_size as u64 {
+                break;
+            }
+            if self.wf_state[slot] & WF_ACTIVE != 0 {
+                continue;
+            }
+            let age = first_age + k;
+            self.slots[slot].dispatch(
+                first_uid + k,
                 wg_local as u8,
                 kernel_idx,
                 kernel.loops.len(),
             );
-            wf.wait_until = now;
+            self.wf_state[slot] = WF_ACTIVE;
+            self.wf_wait[slot] = now;
+            self.wf_pc[slot] = 0;
+            self.wf_age[slot] = age;
+            // Dispatch ages are normally globally monotone, so this insert
+            // is an append; binary search keeps arbitrary ages correct.
+            let pos = self
+                .sched_order
+                .partition_point(|&s| (self.wf_age[s as usize], s) < (age, slot as u32));
+            self.sched_order.insert(pos, slot as u32);
+            self.n_active += 1;
+            k += 1;
         }
         // Re-anchor the cycle grid at dispatch when the CU was idle or had
         // skipped ahead past `now`.
@@ -459,7 +666,8 @@ impl Cu {
     }
 
     /// Executes one scheduling step at time `now` (which must equal
-    /// `next_cycle`), advancing `next_cycle`.
+    /// `next_cycle`), advancing `next_cycle`. Allocates a fresh ready
+    /// list; hot loops use [`Cu::step_with`] with reusable scratch.
     pub fn step<M: MemoryPort>(
         &mut self,
         now: Femtos,
@@ -467,65 +675,78 @@ impl Cu {
         app_kernels: &[Kernel],
     ) -> StepOutcome {
         let mut ready = Vec::new();
-        self.collect_ready(now, &mut ready);
-        self.step_selected(now, mem, app_kernels, &ready)
+        self.step_with(now, mem, app_kernels, &mut ready)
     }
 
-    /// Fills `ready` with the age-sorted `(age, slot)` pairs of wavefronts
-    /// ready at `now` — the scheduler's arbitration input. Split out of
-    /// [`Cu::step`] so the lane scheduler can classify a step (local vs.
-    /// global) and then execute it without re-collecting.
-    fn collect_ready(&self, now: Femtos, ready: &mut Vec<(u64, usize)>) {
+    /// [`Cu::step`] with caller-owned ready-list scratch, so steady-state
+    /// stepping never touches the allocator.
+    pub(crate) fn step_with<M: MemoryPort>(
+        &mut self,
+        now: Femtos,
+        mem: &mut M,
+        app_kernels: &[Kernel],
+        ready: &mut Vec<u32>,
+    ) -> StepOutcome {
+        self.collect_ready(now, ready);
+        self.step_selected(now, mem, app_kernels, ready)
+    }
+
+    /// Fills `ready` with the slots of wavefronts ready at `now`, in age
+    /// order — the scheduler's arbitration input. `sched_order` is already
+    /// age-sorted, so this is a filter over two dense arrays with no sort.
+    /// Split out of [`Cu::step`] so the lane scheduler can classify a step
+    /// (local vs. global) and then execute it without re-collecting.
+    fn collect_ready(&self, now: Femtos, ready: &mut Vec<u32>) {
         ready.clear();
-        ready.extend(
-            self.slots
-                .iter()
-                .enumerate()
-                .filter(|(_, wf)| wf.ready(now))
-                .map(|(i, wf)| (wf.age, i)),
-        );
-        ready.sort_unstable();
+        for &slot in &self.sched_order {
+            let i = slot as usize;
+            if self.wf_state[i] & WF_BARRIER == 0 && self.wf_wait[i] <= now {
+                ready.push(slot);
+            }
+        }
     }
 
-    /// Whether the step that would execute at `now` with arbitration input
-    /// `ready` needs the shared memory system or the GPU-level dispatcher.
+    /// Classifies the step that would execute at `now` with arbitration
+    /// input `ready`, from the lane scheduler's point of view.
     ///
     /// Ops are examined in the order [`Cu::step_selected`] issues them
-    /// (oldest first, up to `issue_width`). A `Store` always reaches shared
-    /// memory; an `EndKernel` may retire a workgroup and trigger dispatch;
-    /// a `Load` is global exactly when it misses L1. The probe sequence
-    /// mirrors execution: issued loads that *hit* only rotate L1 LRU
-    /// recency — they never change residency ([`Cache::probe`] vs.
-    /// [`Cache::access`]) — so probing later loads against the pre-step
-    /// tags gives the same hit/miss answers execution would. The first
-    /// global op taints the whole step (earlier local ops in the same cycle
-    /// still execute with it at merge time, exactly as the serial loop
-    /// would have).
-    pub(crate) fn needs_global(
-        &self,
-        _now: Femtos,
-        app_kernels: &[Kernel],
-        ready: &[(u64, usize)],
-    ) -> bool {
-        for &(_, j) in ready.iter().take(self.issue_width) {
+    /// (oldest first, up to `issue_width`). An `EndKernel` may retire a
+    /// workgroup and trigger GPU-level dispatch ([`StepClass::Dispatch`]);
+    /// a `Store` always reaches shared memory, and a `Load` does exactly
+    /// when it misses L1 ([`StepClass::Mem`]). The probe sequence mirrors
+    /// execution: issued loads that *hit* only rotate L1 LRU recency —
+    /// they never change residency ([`Cache::probe`] vs.
+    /// [`Cache::access`]) — so while every earlier op was a local hit,
+    /// probing against the pre-step tags gives the same hit/miss answers
+    /// execution would. Once the class is `Mem` further probes are skipped
+    /// (their answers could no longer affect it) and the scan continues
+    /// only to detect `EndKernel`, which is an opcode property independent
+    /// of cache state. The first global op taints the whole step (earlier
+    /// local ops in the same cycle still execute with it at merge time,
+    /// exactly as the serial loop would have).
+    pub(crate) fn classify_step(&self, app_kernels: &[Kernel], ready: &[u32]) -> StepClass {
+        let mut class = StepClass::Local;
+        for &j in ready.iter().take(self.issue_width) {
+            let j = j as usize;
             let wf = &self.slots[j];
             let kernel = &app_kernels[wf.kernel_idx as usize];
-            match kernel.code[wf.pc_index as usize] {
-                Op::Store { .. } | Op::EndKernel => return true,
-                Op::Load { pattern } => {
+            match kernel.code[self.wf_pc[j] as usize] {
+                Op::EndKernel => return StepClass::Dispatch,
+                Op::Store { .. } => class = StepClass::Mem,
+                Op::Load { pattern } if class == StepClass::Local => {
                     let addr = kernel.patterns[pattern as usize].address(
                         wf.uid,
                         wf.mem_counter,
                         kernel.seed,
                     );
                     if !self.l1.probe(addr) {
-                        return true;
+                        class = StepClass::Mem;
                     }
                 }
                 _ => {}
             }
         }
-        false
+        class
     }
 
     /// Number of wavefront slots not currently occupied. Only a global
@@ -533,7 +754,7 @@ impl Cu {
     /// dispatch-vulnerability test in [`Cu::advance_local`] stable across
     /// a whole run of lane-local steps.
     pub(crate) fn free_slots(&self) -> usize {
-        self.slots.iter().filter(|w| !w.active).count()
+        self.slots.len() - self.n_active as usize
     }
 
     /// Runs this lane forward through purely CU-local steps until it must
@@ -559,7 +780,7 @@ impl Cu {
         window_end: Femtos,
         app_kernels: &[Kernel],
         dispatch_slots: usize,
-        ready: &mut Vec<(u64, usize)>,
+        ready: &mut Vec<u32>,
     ) -> LaneStop {
         let vulnerable = self.free_slots() >= dispatch_slots;
         loop {
@@ -574,11 +795,71 @@ impl Cu {
                 return LaneStop::Yield(t);
             }
             self.collect_ready(t, ready);
-            if self.needs_global(t, app_kernels, ready) {
+            if self.classify_step(app_kernels, ready) != StepClass::Local {
                 return LaneStop::Yield(t);
             }
             let out = self.step_selected(t, &mut LocalOnly, app_kernels, ready);
             debug_assert_eq!(out.workgroups_done, 0, "local step retired a workgroup");
+        }
+    }
+
+    /// [`Cu::advance_local`] for the merge phase, where the coordinator
+    /// owns the real memory system and the merge frontier gives this lane
+    /// an exclusivity *horizon*: every other lane's next shared-state step
+    /// is at or after `horizon` (it is the minimum over the pending-yield
+    /// heap and the sub-window end). Two relaxations follow, both exactly
+    /// order-preserving:
+    ///
+    /// - Strictly below `horizon`, [`StepClass::Mem`] steps execute inline
+    ///   against the real `mem`: each such step is the globally minimal
+    ///   remaining `(time, cu)` shared step, so this is precisely the
+    ///   serial loop's order. A lane's `next_cycle` is strictly
+    ///   increasing, so its own inline steps also replay in serial order.
+    /// - Strictly below `horizon`, dispatch vulnerability is ignored:
+    ///   dispatches originate only from merged `EndKernel` retirements,
+    ///   which all occur at or after `horizon`, so none can land in the
+    ///   interval this lane is running through.
+    ///
+    /// [`StepClass::Dispatch`] steps always yield — the coordinator must
+    /// observe workgroup retirement to run the dispatcher. At or beyond
+    /// `horizon` the Phase-A rules of [`Cu::advance_local`] apply
+    /// unchanged.
+    pub(crate) fn advance_merge<M: MemoryPort>(
+        &mut self,
+        horizon: Femtos,
+        window_end: Femtos,
+        mem: &mut M,
+        app_kernels: &[Kernel],
+        dispatch_slots: usize,
+        ready: &mut Vec<u32>,
+    ) -> LaneStop {
+        loop {
+            let t = self.next_cycle;
+            if t == IDLE {
+                return LaneStop::Idle;
+            }
+            if t >= window_end {
+                return LaneStop::Parked;
+            }
+            self.collect_ready(t, ready);
+            let class = self.classify_step(app_kernels, ready);
+            if t >= horizon {
+                // Other lanes' shared steps may interleave from here on:
+                // fall back to the Phase-A rules (free slots only grow at
+                // this CU's own merged EndKernel steps, so vulnerability
+                // is stable across the local steps taken above).
+                if self.free_slots() >= dispatch_slots || class != StepClass::Local {
+                    return LaneStop::Yield(t);
+                }
+                let out = self.step_selected(t, &mut LocalOnly, app_kernels, ready);
+                debug_assert_eq!(out.workgroups_done, 0, "local step retired a workgroup");
+            } else {
+                if class == StepClass::Dispatch {
+                    return LaneStop::Yield(t);
+                }
+                let out = self.step_selected(t, mem, app_kernels, ready);
+                debug_assert_eq!(out.workgroups_done, 0, "non-dispatch step retired a workgroup");
+            }
         }
     }
 
@@ -588,33 +869,32 @@ impl Cu {
         now: Femtos,
         mem: &mut M,
         app_kernels: &[Kernel],
-        ready: &[(u64, usize)],
+        ready: &[u32],
     ) -> StepOutcome {
         let mut outcome = StepOutcome::default();
         if !ready.is_empty() {
             // Close any in-flight gap first.
             let gap = self.gap_class;
             self.account(gap, self.accounted_until, now);
-            for &(_, j) in ready.iter().skip(self.issue_width) {
-                self.slots[j].e_sched_wait += self.period;
+            for &j in ready.iter().skip(self.issue_width) {
+                self.slots[j as usize].e_sched_wait += self.period;
             }
-            for &(_, j) in ready.iter().take(self.issue_width) {
-                self.issue(j, now, mem, app_kernels, &mut outcome);
+            for &j in ready.iter().take(self.issue_width) {
+                self.issue(j as usize, now, mem, app_kernels, &mut outcome);
             }
             self.add_busy(now, now + self.period);
             self.next_cycle = now + self.period;
         } else {
-            // Nothing ready: skip ahead to the next wake-up.
+            // Nothing ready: skip ahead to the next wake-up. `sched_order`
+            // holds exactly the live slots.
             let mut wake = IDLE;
             let mut all_barrier = true;
-            let mut any_live = false;
-            for wf in &self.slots {
-                if wf.active && !wf.finished {
-                    any_live = true;
-                    if !wf.at_barrier {
-                        all_barrier = false;
-                        wake = wake.min(wf.wait_until);
-                    }
+            let any_live = !self.sched_order.is_empty();
+            for &slot in &self.sched_order {
+                let i = slot as usize;
+                if self.wf_state[i] & WF_BARRIER == 0 {
+                    all_barrier = false;
+                    wake = wake.min(self.wf_wait[i]);
                 }
             }
             if !any_live {
@@ -690,7 +970,7 @@ impl Cu {
         let l1_lat = self.l1_hit_lat;
         let wf = &mut self.slots[slot];
         let kernel = &app_kernels[wf.kernel_idx as usize];
-        let op = kernel.code[wf.pc_index as usize];
+        let op = kernel.code[self.wf_pc[slot] as usize];
         if op.counts_as_committed() {
             wf.e_committed += 1;
             self.e_committed += 1;
@@ -707,12 +987,12 @@ impl Cu {
         let wf = &mut self.slots[slot];
         match op {
             Op::Valu { lat } => {
-                wf.wait_until = now + period * lat as u64;
-                wf.pc_index += 1;
+                self.wf_wait[slot] = now + period * lat as u64;
+                self.wf_pc[slot] += 1;
             }
             Op::Salu => {
-                wf.wait_until = now + period;
-                wf.pc_index += 1;
+                self.wf_wait[slot] = now + period;
+                self.wf_pc[slot] += 1;
             }
             Op::Load { pattern } => {
                 let addr =
@@ -735,8 +1015,8 @@ impl Cu {
                     self.e_lead += complete - now;
                 }
                 self.cu_pending_loads.push(complete);
-                wf.wait_until = now + period;
-                wf.pc_index += 1;
+                self.wf_wait[slot] = now + period;
+                self.wf_pc[slot] += 1;
             }
             Op::Store { pattern } => {
                 let addr =
@@ -747,8 +1027,8 @@ impl Cu {
                 wf.pending_stores.push(ack);
                 self.cu_pending_stores.retain(|&t| t > now);
                 self.cu_pending_stores.push(ack);
-                wf.wait_until = now + period;
-                wf.pc_index += 1;
+                self.wf_wait[slot] = now + period;
+                self.wf_pc[slot] += 1;
             }
             Op::Waitcnt { vm, st } => {
                 wf.drain_loads(now);
@@ -766,13 +1046,13 @@ impl Cu {
                         self.e_store_stall += store_target - load_target.max(now);
                     }
                 }
-                wf.wait_until = target.max(now + period);
-                wf.pc_index += 1;
+                self.wf_wait[slot] = target.max(now + period);
+                self.wf_pc[slot] += 1;
             }
             Op::Barrier => {
-                wf.at_barrier = true;
+                self.wf_state[slot] |= WF_BARRIER;
                 wf.barrier_since = now;
-                wf.pc_index += 1;
+                self.wf_pc[slot] += 1;
                 let wg_local = wf.wg_local as usize;
                 self.wgs[wg_local].at_barrier += 1;
                 self.maybe_release_barrier(wg_local, now);
@@ -783,16 +1063,22 @@ impl Cu {
                 let iters = &mut wf.branch_iters[lslot as usize];
                 *iters += 1;
                 if *iters < trips {
-                    wf.pc_index = target / 4;
+                    self.wf_pc[slot] = target / 4;
                 } else {
                     *iters = 0;
-                    wf.pc_index += 1;
+                    self.wf_pc[slot] += 1;
                 }
-                wf.wait_until = now + period;
+                self.wf_wait[slot] = now + period;
             }
             Op::EndKernel => {
-                wf.finished = true;
-                wf.active = false;
+                self.wf_state[slot] = (self.wf_state[slot] | WF_FINISHED) & !WF_ACTIVE;
+                self.n_active -= 1;
+                let pos = self
+                    .sched_order
+                    .iter()
+                    .position(|&s| s == slot as u32)
+                    .expect("retiring wavefront is live, so it is in sched_order");
+                self.sched_order.remove(pos);
                 let wg_local = wf.wg_local as usize;
                 let wg = &mut self.wgs[wg_local];
                 wg.remaining -= 1;
@@ -811,11 +1097,15 @@ impl Cu {
         let wg = self.wgs[wg_local];
         if wg.active && wg.remaining > 0 && wg.at_barrier == wg.remaining {
             let period = self.period;
-            for wf in &mut self.slots {
-                if wf.active && !wf.finished && wf.wg_local as usize == wg_local && wf.at_barrier {
-                    wf.at_barrier = false;
-                    wf.e_barrier_stall += now - wf.barrier_since.max(self.epoch_start);
-                    wf.wait_until = now + period;
+            let epoch_start = self.epoch_start;
+            for &s in &self.sched_order {
+                let i = s as usize;
+                if self.wf_state[i] & WF_BARRIER != 0 && self.slots[i].wg_local as usize == wg_local
+                {
+                    self.wf_state[i] &= !WF_BARRIER;
+                    let wf = &mut self.slots[i];
+                    wf.e_barrier_stall += now - wf.barrier_since.max(epoch_start);
+                    self.wf_wait[i] = now + period;
                 }
             }
             self.wgs[wg_local].at_barrier = 0;
@@ -835,8 +1125,10 @@ impl Cu {
         self.e_op_mix = OpMix::default();
         self.accounted_until = self.accounted_until.max(epoch_start);
         self.l1.reset_counters();
-        for wf in &mut self.slots {
-            wf.begin_epoch(epoch_start);
+        for (i, wf) in self.slots.iter_mut().enumerate() {
+            let s = self.wf_state[i];
+            let live = s & WF_ACTIVE != 0 && s & WF_FINISHED == 0;
+            wf.begin_epoch(epoch_start, self.wf_pc[i], live);
         }
     }
 
@@ -856,21 +1148,13 @@ impl Cu {
         out: &mut CuEpochStats,
         scratch: &mut CollectScratch,
     ) {
-        // Age ranks among live wavefronts.
-        let CollectScratch { ages, rank } = scratch;
-        ages.clear();
-        ages.extend(
-            self.slots
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.active && !w.finished)
-                .map(|(i, w)| (w.age, i)),
-        );
-        ages.sort_unstable();
+        // Age ranks among live wavefronts: `sched_order` is already the
+        // live slots in age order, so ranking is a single pass, no sort.
+        let CollectScratch { rank, ready: _ } = scratch;
         rank.clear();
         rank.resize(self.slots.len(), u32::MAX);
-        for (r, &(_, i)) in ages.iter().enumerate() {
-            rank[i] = r as u32;
+        for (r, &i) in self.sched_order.iter().enumerate() {
+            rank[i as usize] = r as u32;
         }
         out.freq = self.freq;
         out.issue_width = self.issue_width as u32;
@@ -891,9 +1175,9 @@ impl Cu {
                 present: w.e_present || w.e_committed > 0,
                 uid: w.uid,
                 age_rank: rank[i],
-                start_pc: crate::isa::pc_of_index(w.e_start_pc_index as usize),
+                start_pc: pc_of_index(w.e_start_pc_index as usize),
                 start_blocked: w.e_start_blocked,
-                end_pc: w.pc(),
+                end_pc: pc_of_index(self.wf_pc[i] as usize),
                 kernel_idx: w.kernel_idx,
                 committed: w.e_committed,
                 // Remove any stall tail extending beyond this epoch (it is
@@ -906,7 +1190,7 @@ impl Cu {
                 barrier_stall: w.e_barrier_stall,
                 sched_wait: w.e_sched_wait,
                 lead_time: w.e_lead,
-                finished: w.finished,
+                finished: self.wf_state[i] & WF_FINISHED != 0,
             };
             match out.wf.get_mut(i) {
                 Some(slot) => *slot = stats,

@@ -12,11 +12,9 @@ use crate::kernel::{App, Kernel};
 use crate::lanes;
 use crate::mem::MemSystem;
 use crate::stats::{CuEpochStats, EpochStats};
-use crate::time::{Femtos, Frequency};
+use crate::time::{EventWheel, Femtos, Frequency};
 use exec::WorkerPool;
 use snapshot::{ContainerReader, ContainerWriter, SnapError, Snapshot};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// How a bounded completion run ([`Gpu::run_to_outcome`]) ended.
@@ -223,14 +221,10 @@ pub struct Gpu {
     app: Arc<App>,
     launch: LaunchState,
     now: Femtos,
-    heap: BinaryHeap<Reverse<(Femtos, usize)>>,
-    /// Event-queue entries (live + stale) currently held per CU. A push
-    /// for a CU that already has entries is by construction redundant —
-    /// only the entry matching `next_cycle` will execute — which is what
-    /// lets [`Gpu::push_event`] count staleness exactly at insert time.
-    heap_entries: Vec<u32>,
-    /// Known-stale entries in `heap`; drives fraction-based compaction.
-    heap_stale: usize,
+    /// The event queue: an arena-backed calendar wheel with exact per-CU
+    /// live/stale bookkeeping. Pop order is the old heap's `(time, cu)`
+    /// lexicographic order (pinned by property test in `time.rs`).
+    wheel: EventWheel,
     /// Lane count for sharded execution (`PCSTALL_SIM_LANES`); 1 = the
     /// classic serial event loop. Results are bit-identical either way.
     sim_lanes: usize,
@@ -263,9 +257,7 @@ impl Clone for Gpu {
             app: Arc::clone(&self.app),
             launch: self.launch,
             now: self.now,
-            heap: self.heap.clone(),
-            heap_entries: self.heap_entries.clone(),
-            heap_stale: self.heap_stale,
+            wheel: self.wheel.clone(),
             sim_lanes: self.sim_lanes,
             lane_pool: self.lane_pool.clone(),
             scratch: CollectScratch::default(),
@@ -282,9 +274,7 @@ impl Clone for Gpu {
             app,
             launch,
             now,
-            heap,
-            heap_entries,
-            heap_stale,
+            wheel,
             sim_lanes,
             lane_pool,
             scratch: _, // the destination keeps its own (stateless) scratch
@@ -297,10 +287,8 @@ impl Clone for Gpu {
         }
         self.launch = *launch;
         self.now = *now;
-        // BinaryHeap::clone_from reuses the backing vector.
-        self.heap.clone_from(heap);
-        self.heap_entries.clone_from(heap_entries);
-        self.heap_stale = *heap_stale;
+        // EventWheel::clone_from reuses every bucket's backing vector.
+        self.wheel.clone_from(wheel);
         self.sim_lanes = *sim_lanes;
         self.lane_pool.clone_from(lane_pool);
     }
@@ -339,9 +327,7 @@ impl Gpu {
                 completion: None,
             },
             now: Femtos::ZERO,
-            heap: BinaryHeap::new(),
-            heap_entries: vec![0; cfg.n_cus],
-            heap_stale: 0,
+            wheel: EventWheel::new(cfg.n_cus),
             sim_lanes: lanes::lanes_from_env(),
             lane_pool: None,
             scratch: CollectScratch::default(),
@@ -451,27 +437,20 @@ impl Gpu {
     /// benchmarks and tests can check that stale-entry compaction keeps the
     /// queue bounded over long power-capped runs.
     pub fn event_queue_len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Number of event-queue entries known to be stale (superseded by a
     /// retime or a duplicate push). Exposed for compaction tests.
     pub fn stale_event_entries(&self) -> usize {
-        self.heap_stale
+        self.wheel.stale()
     }
 
-    /// Pushes an event, maintaining the per-CU entry counts and the stale
-    /// tally: a CU that already has entries can have at most one live one,
-    /// so each additional push marks one entry stale. The tally is a cheap
-    /// over-approximation — a lingering counted-stale entry can coincide
-    /// with a later push whose entry is itself live — which only makes
-    /// compaction (which resets the tally) fire earlier, never later.
+    /// Pushes an event. The wheel tracks per-CU liveness itself: a CU has
+    /// at most one live entry (its latest push), so each push that
+    /// supersedes one counts it stale — an exact tally, not a heuristic.
     fn push_event(&mut self, t: Femtos, cu: usize) {
-        if self.heap_entries[cu] > 0 {
-            self.heap_stale += 1;
-        }
-        self.heap_entries[cu] += 1;
-        self.heap.push(Reverse((t, cu)));
+        self.wheel.push(t, cu);
     }
 
     /// Rebuilds the event queue from live `next_cycle` values once stale
@@ -484,8 +463,7 @@ impl Gpu {
     /// growing until a size heuristic notices.
     fn maybe_compact_heap(&mut self) {
         let floor = (2 * self.cus.len()).max(64);
-        let stale = self.heap_stale.min(self.heap.len());
-        if self.heap.len() <= floor || stale * 2 <= self.heap.len() {
+        if self.wheel.len() <= floor || self.wheel.stale() * 2 <= self.wheel.len() {
             return;
         }
         self.compact_heap();
@@ -494,13 +472,10 @@ impl Gpu {
     /// Unconditionally rebuilds the canonical event queue: one entry per
     /// scheduled CU, zero stale.
     fn compact_heap(&mut self) {
-        self.heap.clear();
-        self.heap_stale = 0;
-        self.heap_entries.iter_mut().for_each(|e| *e = 0);
+        self.wheel.clear();
         for (i, cu) in self.cus.iter().enumerate() {
             if cu.next_cycle != IDLE {
-                self.heap_entries[i] = 1;
-                self.heap.push(Reverse((cu.next_cycle, i)));
+                self.wheel.push(cu.next_cycle, i);
             }
         }
     }
@@ -523,31 +498,76 @@ impl Gpu {
 
     /// The classic serial event loop: pop `(time, cu)` in lexicographic
     /// order, step that CU against the shared memory system.
+    ///
+    /// With a same-CU fast path: after stepping CU `i`, if its next cycle
+    /// provably precedes every queued event in `(time, cu)` order (and is
+    /// still inside the window), the loop steps it again directly instead
+    /// of routing through the wheel. Compute-bound phases, where one CU
+    /// strings many consecutive cycles ahead of the rest, skip most of
+    /// their event-queue traffic this way; the execution order is
+    /// identical to popping by construction of the guard.
     fn run_until_serial(&mut self, end: Femtos) {
         self.maybe_compact_heap();
+        // Allocation-freedom gate (debug builds, armed probe only): the
+        // steady-state window must not allocate — see `alloc_probe`.
+        let alloc_mark =
+            (cfg!(debug_assertions) && crate::alloc_probe::armed()).then(crate::alloc_probe::count);
         let app = Arc::clone(&self.app);
-        while let Some(&Reverse((t, i))) = self.heap.peek() {
+        while let Some((t, i)) = self.wheel.peek() {
             if t >= end {
                 break;
             }
-            self.heap.pop();
-            self.heap_entries[i] -= 1;
+            let (_, _, was_live) = self.wheel.pop().expect("peeked entry pops");
+            debug_assert_eq!(
+                was_live,
+                self.cus[i].next_cycle == t,
+                "wheel liveness disagrees with CU {i} at {t}"
+            );
             if self.cus[i].next_cycle != t {
-                // Stale entry. The counter can over-estimate (a retimed CU
-                // rescheduled back onto an old entry's time turns that
-                // "stale" entry live again), so the decrement saturates.
-                self.heap_stale = self.heap_stale.saturating_sub(1);
+                // Stale entry, superseded by a later push for this CU.
                 self.maybe_compact_heap();
                 continue;
             }
-            let outcome = self.cus[i].step(t, &mut self.mem, &app.kernels);
-            for _ in 0..outcome.workgroups_done {
-                self.on_workgroup_done(t);
+            let mut t = t;
+            loop {
+                let outcome =
+                    self.cus[i].step_with(t, &mut self.mem, &app.kernels, &mut self.scratch.ready);
+                let dispatched = outcome.workgroups_done > 0;
+                for _ in 0..outcome.workgroups_done {
+                    self.on_workgroup_done(t);
+                }
+                let next = self.cus[i].next_cycle;
+                if next == IDLE {
+                    break;
+                }
+                if dispatched && self.wheel.live_time(i) == Some(next) {
+                    // Retiring a workgroup re-dispatched onto this CU and
+                    // already queued its (re-anchored) next step.
+                    break;
+                }
+                if next >= end {
+                    self.push_event(next, i);
+                    break;
+                }
+                match self.wheel.peek() {
+                    Some((t2, j)) if (t2, j) < (next, i) => {
+                        self.push_event(next, i);
+                        break;
+                    }
+                    // Nothing queued precedes (next, i): stepping now is
+                    // exactly the order popping would have produced. An
+                    // equal queued entry can only be a stale duplicate of
+                    // this CU; it is skipped when popped.
+                    _ => t = next,
+                }
             }
-            let next = self.cus[i].next_cycle;
-            if next != IDLE {
-                self.push_event(next, i);
-            }
+        }
+        if let Some(mark) = alloc_mark {
+            debug_assert_eq!(
+                crate::alloc_probe::count(),
+                mark,
+                "serial event loop allocated while the probe was armed"
+            );
         }
         self.now = end;
     }
@@ -706,12 +726,10 @@ impl Gpu {
                     completion,
                 },
             now,
-            heap: _,         // canonical form derived from `cus` below
-            heap_entries: _, // derived from the event list on load
-            heap_stale: _,   // zero by construction in canonical form
-            sim_lanes: _,    // host execution knob, not simulator state
-            lane_pool: _,    // host resource
-            scratch: _,      // stateless epoch scratch; rebuilt on load
+            wheel: _,     // canonical form derived from `cus` below
+            sim_lanes: _, // host execution knob, not simulator state
+            lane_pool: _, // host resource
+            scratch: _,   // stateless epoch scratch; rebuilt on load
         } = self;
         let mut c = ContainerWriter::new();
         c.section("config", |w| cfg.encode(w));
@@ -834,17 +852,14 @@ impl Gpu {
             }
         }
 
-        // Per-CU entry counts and the stale tally are derived, not stored:
-        // snapshots written by this version carry the canonical (stale-free)
-        // event list, while older snapshots may carry duplicates, which are
-        // counted stale here exactly as `push_event` would have.
-        let mut heap_entries = vec![0u32; cfg.n_cus];
-        let mut heap_stale = 0usize;
+        // Wheel bookkeeping is derived, not stored: snapshots written by
+        // this version carry the canonical (stale-free) event list, while
+        // older snapshots may carry duplicates. Only the entry matching a
+        // CU's scheduled cycle is live; anything else is stale — exactly.
+        let mut wheel = EventWheel::new(cfg.n_cus);
         for &(t, i) in &events {
-            if heap_entries[i] > 0 || cus[i].next_cycle != t {
-                heap_stale += 1;
-            }
-            heap_entries[i] += 1;
+            let live = wheel.live_time(i).is_none() && cus[i].next_cycle == t;
+            wheel.insert_for_load(t, i, live);
         }
 
         Ok(Gpu {
@@ -862,9 +877,7 @@ impl Gpu {
                 completion,
             },
             now,
-            heap: BinaryHeap::from(events.into_iter().map(Reverse).collect::<Vec<_>>()),
-            heap_entries,
-            heap_stale,
+            wheel,
             sim_lanes: lanes::lanes_from_env(),
             lane_pool: None,
             scratch: CollectScratch::default(),
@@ -873,26 +886,18 @@ impl Gpu {
 
     fn on_workgroup_done(&mut self, t: Femtos) {
         let app = Arc::clone(&self.app);
-        let Gpu { cus, launch, heap, heap_entries, heap_stale, .. } = self;
+        let Gpu { cus, launch, wheel, .. } = self;
         launch.on_workgroup_done(t, &app.kernels, &mut SliceCus(cus), &mut |cu, next| {
-            if heap_entries[cu] > 0 {
-                *heap_stale += 1;
-            }
-            heap_entries[cu] += 1;
-            heap.push(Reverse((next, cu)));
+            wheel.push(next, cu);
         });
     }
 
     /// Dispatches as many pending workgroups as fit, round-robin over CUs.
     fn fill_cus(&mut self, t: Femtos) {
         let app = Arc::clone(&self.app);
-        let Gpu { cus, launch, heap, heap_entries, heap_stale, .. } = self;
+        let Gpu { cus, launch, wheel, .. } = self;
         launch.fill_cus(t, &app.kernels, &mut SliceCus(cus), &mut |cu, next| {
-            if heap_entries[cu] > 0 {
-                *heap_stale += 1;
-            }
-            heap_entries[cu] += 1;
-            heap.push(Reverse((next, cu)));
+            wheel.push(next, cu);
         });
     }
 }
@@ -974,7 +979,7 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::tiny(), compute_app_trips(64, 400));
         gpu.run_until(Femtos::from_micros(1));
         assert!(!gpu.is_done());
-        gpu.heap.clear();
+        gpu.wheel.clear();
         for cu in &mut gpu.cus {
             cu.next_cycle = IDLE;
         }
@@ -1209,7 +1214,7 @@ mod tests {
         gpu.set_sim_lanes(4);
         gpu.run_until(Femtos::from_micros(1));
         assert!(!gpu.is_done());
-        gpu.heap.clear();
+        gpu.wheel.clear();
         for cu in &mut gpu.cus {
             cu.next_cycle = IDLE;
         }

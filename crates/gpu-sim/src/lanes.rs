@@ -1,17 +1,21 @@
 //! Sharded per-CU lane execution.
 //!
-//! The serial event loop in [`crate::gpu::Gpu`] pops a global heap in
-//! `(time, cu)` order and steps one CU at a time. This module runs the same
-//! simulation as a set of per-CU *lanes*: each CU advances independently
-//! through purely CU-local work (its own clock, wavefront slots and L1),
-//! and only the steps that touch shared state — L2/DRAM accesses, stores,
-//! workgroup retirement/dispatch — are replayed by a single coordinator in
-//! exactly the serial loop's `(time, cu)` order against the real
-//! [`crate::mem::MemSystem`]. Because CU-local steps read and write nothing
-//! outside their CU, and every shared-state step executes in the serial
-//! order with the serial memory state, all observable results (epoch stats,
-//! telemetry, snapshots, completion times) are **bit-identical** at any
-//! lane count. See DESIGN.md §11 for the full determinism argument.
+//! The serial event loop in [`crate::gpu::Gpu`] pops a global event queue
+//! in `(time, cu)` order and steps one CU at a time. This module runs the
+//! same simulation as a set of per-CU *lanes*: each CU advances
+//! independently through purely CU-local work (its own clock, wavefront
+//! slots and L1), and every step that touches shared state — L2/DRAM
+//! accesses, stores, workgroup retirement/dispatch — executes in exactly
+//! the serial loop's `(time, cu)` order against the real
+//! [`crate::mem::MemSystem`]: either replayed at the single coordinator,
+//! or (for memory steps strictly below the *merge-frontier horizon*, where
+//! that order is provably this lane's alone) inline during re-advance
+//! ([`crate::cu::Cu::advance_merge`], DESIGN.md §12). Because CU-local
+//! steps read and write nothing outside their CU, and every shared-state
+//! step executes in the serial order with the serial memory state, all
+//! observable results (epoch stats, telemetry, snapshots, completion
+//! times) are **bit-identical** at any lane count. See DESIGN.md §11 for
+//! the full determinism argument.
 //!
 //! Synchronization is sub-window bounded: a run window `[start, end)` is
 //! cut into sub-windows of an adaptive length (measured in cycles of the
@@ -89,7 +93,7 @@ fn dispatch_slots(launch: &LaunchState, kernels: &[Kernel]) -> usize {
 /// Per-thread ready-list scratch for lane advancement (newtype so the
 /// `exec::with_arena` type key can't collide with other arena users).
 #[derive(Default)]
-struct LaneScratch(Vec<(u64, usize)>);
+struct LaneScratch(Vec<u32>);
 
 /// Sub-window length bounds, in cycles of the fastest CU clock. The lower
 /// bound keeps pool-dispatch overhead amortized over real work; the upper
@@ -119,7 +123,7 @@ pub(crate) fn run_window(ctx: ShardCtx<'_>, start: Femtos, end: Femtos) {
     let mut runnable: Vec<usize> = Vec::with_capacity(n);
     let mut pending: BinaryHeap<Reverse<(Femtos, usize)>> = BinaryHeap::with_capacity(n);
     let mut woken: Vec<usize> = Vec::new();
-    let mut scratch: Vec<(u64, usize)> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
     let yield_target = (n / 4).max(1);
 
     let mut s = start;
@@ -170,7 +174,7 @@ pub(crate) fn run_window(ctx: ShardCtx<'_>, start: Femtos, end: Femtos) {
                     // for its current next_cycle is elsewhere in `pending`.
                     continue;
                 }
-                let outcome = cu.step(t, mem, kernels);
+                let outcome = cu.step_with(t, mem, kernels, &mut scratch);
                 drop(cu);
                 yields += 1;
                 for _ in 0..outcome.workgroups_done {
@@ -179,15 +183,28 @@ pub(crate) fn run_window(ctx: ShardCtx<'_>, start: Femtos, end: Femtos) {
                     });
                 }
             }
+            woken.retain(|&j| j != i);
             woken.sort_unstable();
             woken.dedup();
             // Dispatch may have consumed workgroups (or launched a new
             // kernel), so refresh the vulnerability threshold before
             // re-advancing.
             let ds = dispatch_slots(launch, kernels);
-            for j in std::iter::once(i).chain(woken.iter().copied().filter(|&j| j != i)) {
+            for idx in 0..=woken.len() {
+                let j = if idx == 0 { i } else { woken[idx - 1] };
+                // The merge frontier: every other lane's next shared-state
+                // step is at or after the pending minimum (parked lanes
+                // are at or after `sw`, idle lanes have none), EXCEPT the
+                // woken lanes still awaiting re-advance below — their wake
+                // step is not in `pending` yet, so the horizon must also
+                // stay at or below their clocks. Strictly below it, lane
+                // `j` may run memory steps inline. Recomputed per lane —
+                // earlier iterations may push smaller yields.
+                let rest =
+                    woken[idx..].iter().map(|&k| lock(&cells[k]).next_cycle).min().unwrap_or(IDLE);
+                let horizon = pending.peek().map_or(IDLE, |&Reverse((t, _))| t).min(rest).min(sw);
                 if let LaneStop::Yield(t2) =
-                    lock(&cells[j]).advance_local(sw, kernels, ds, &mut scratch)
+                    lock(&cells[j]).advance_merge(horizon, sw, mem, kernels, ds, &mut scratch)
                 {
                     pending.push(Reverse((t2, j)));
                 }

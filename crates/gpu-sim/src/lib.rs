@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc_probe;
 pub mod cache;
 pub mod config;
 pub mod cu;

@@ -222,6 +222,33 @@ impl MemoryPort for LocalOnly {
     }
 }
 
+/// Fixed latencies pre-converted from nanoseconds to [`Femtos`], so the
+/// per-access hot path ([`MemSystem::load`]/[`MemSystem::store`]) does no
+/// unit conversion. Purely derived from [`MemConfig`]: excluded from the
+/// snapshot wire format and recomputed wherever a `MemSystem` is
+/// constructed or decoded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LatConsts {
+    noc: Femtos,
+    l2_hit: Femtos,
+    dram_service: Femtos,
+    /// Full extra path of an L2 miss: `dram_extra_ns + l2_hit_ns`.
+    dram_miss: Femtos,
+    store_ack: Femtos,
+}
+
+impl LatConsts {
+    fn new(cfg: &MemConfig) -> Self {
+        LatConsts {
+            noc: Femtos::from_nanos(cfg.noc_ns),
+            l2_hit: Femtos::from_nanos(cfg.l2_hit_ns),
+            dram_service: Femtos::from_nanos(cfg.dram_service_ns),
+            dram_miss: Femtos::from_nanos(cfg.dram_extra_ns + cfg.l2_hit_ns),
+            store_ack: Femtos::from_nanos(cfg.store_ack_ns),
+        }
+    }
+}
+
 /// The shared memory system below the per-CU L1s.
 #[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct MemSystem {
@@ -232,6 +259,8 @@ pub struct MemSystem {
     miss_port_next_free: Vec<Femtos>,
     stats: MemEpochStats,
     l2_service: Femtos,
+    #[serde(skip, default)]
+    lat: LatConsts,
 }
 
 /// Manual `Clone` so `clone_from` reuses the destination's server vectors
@@ -246,6 +275,7 @@ impl Clone for MemSystem {
             miss_port_next_free: self.miss_port_next_free.clone(),
             stats: self.stats,
             l2_service: self.l2_service,
+            lat: self.lat,
         }
     }
 
@@ -258,6 +288,7 @@ impl Clone for MemSystem {
             miss_port_next_free,
             stats,
             l2_service,
+            lat,
         } = src;
         self.cfg = *cfg;
         // Vec::clone_from reuses the allocation and calls Cache::clone_from
@@ -268,6 +299,7 @@ impl Clone for MemSystem {
         self.miss_port_next_free.clone_from(miss_port_next_free);
         self.stats = *stats;
         self.l2_service = *l2_service;
+        self.lat = *lat;
     }
 }
 
@@ -285,6 +317,7 @@ impl Snapshot for MemSystem {
             miss_port_next_free,
             stats,
             l2_service,
+            lat: _, // derived from cfg; never serialized
         } = self;
         cfg.encode(w);
         l2_tags.encode(w);
@@ -318,6 +351,7 @@ impl Snapshot for MemSystem {
             return Err(SnapError::invalid("L2 service time inconsistent with configuration"));
         }
         Ok(MemSystem {
+            lat: LatConsts::new(&cfg),
             cfg,
             l2_tags,
             l2_next_free,
@@ -346,6 +380,7 @@ impl MemSystem {
             miss_port_next_free: vec![Femtos::ZERO; n_cus],
             stats: MemEpochStats::default(),
             l2_service: mem_period * cfg.l2_service_cycles as u64,
+            lat: LatConsts::new(&cfg),
             cfg,
         }
     }
@@ -371,56 +406,61 @@ impl MemSystem {
         self.stats
     }
 
-    fn bank_of(&self, addr: u64) -> usize {
-        let line = addr >> self.cfg.l2_bank_cache.line_shift;
+    /// Line number of `addr` — computed once per access and threaded
+    /// through bank/channel mapping and the L2 tag lookup, so the hot paths
+    /// never re-derive it.
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.cfg.l2_bank_cache.line_shift
+    }
+
+    #[inline]
+    fn bank_of_line(&self, line: u64) -> usize {
         (line % self.cfg.l2_banks as u64) as usize
     }
 
-    fn channel_of(&self, addr: u64) -> usize {
-        let line = addr >> self.cfg.l2_bank_cache.line_shift;
+    #[inline]
+    fn channel_of_line(&self, line: u64) -> usize {
         ((line / self.cfg.l2_banks as u64) % self.cfg.dram_channels as u64) as usize
     }
 
     /// Issues an L1-miss load from `cu` at time `now` (the CU runs with
     /// clock period `cu_period`). Returns when the line arrives at the CU.
+    #[inline]
     pub fn load(&mut self, cu: usize, addr: u64, now: Femtos, cu_period: Femtos) -> AccessOutcome {
         let port_ready = self.acquire_miss_port(cu, now, cu_period);
-        let arrival = port_ready + Femtos::from_nanos(self.cfg.noc_ns);
-        let bank = self.bank_of(addr);
+        let arrival = port_ready + self.lat.noc;
+        let line = self.line_of(addr);
+        let bank = self.bank_of_line(line);
         let svc_start = arrival.max(self.l2_next_free[bank]);
         self.l2_next_free[bank] = svc_start + self.l2_service;
-        let l2_hit = self.l2_tags[bank].access(addr);
+        let l2_hit = self.l2_tags[bank].access_line(line);
         if l2_hit {
             self.stats.l2_hits += 1;
-            AccessOutcome {
-                complete_at: svc_start + Femtos::from_nanos(self.cfg.l2_hit_ns),
-                l2_hit: true,
-            }
+            AccessOutcome { complete_at: svc_start + self.lat.l2_hit, l2_hit: true }
         } else {
             self.stats.l2_misses += 1;
             self.stats.dram_accesses += 1;
             self.stats.dram_bytes += 64;
-            let ch = self.channel_of(addr);
+            let ch = self.channel_of_line(line);
             let d_start = (svc_start + self.l2_service).max(self.dram_next_free[ch]);
-            self.dram_next_free[ch] = d_start + Femtos::from_nanos(self.cfg.dram_service_ns);
-            AccessOutcome {
-                complete_at: d_start
-                    + Femtos::from_nanos(self.cfg.dram_extra_ns + self.cfg.l2_hit_ns),
-                l2_hit: false,
-            }
+            self.dram_next_free[ch] = d_start + self.lat.dram_service;
+            AccessOutcome { complete_at: d_start + self.lat.dram_miss, l2_hit: false }
         }
     }
 
     /// Issues a store from `cu` at time `now`. Stores are write-through
     /// no-allocate at L1 and write-back allocate at L2; the returned time is
     /// the write acknowledgment (what `s_waitcnt` on stores observes).
+    #[inline]
     pub fn store(&mut self, cu: usize, addr: u64, now: Femtos, cu_period: Femtos) -> AccessOutcome {
         let port_ready = self.acquire_miss_port(cu, now, cu_period);
-        let arrival = port_ready + Femtos::from_nanos(self.cfg.noc_ns);
-        let bank = self.bank_of(addr);
+        let arrival = port_ready + self.lat.noc;
+        let line = self.line_of(addr);
+        let bank = self.bank_of_line(line);
         let svc_start = arrival.max(self.l2_next_free[bank]);
         self.l2_next_free[bank] = svc_start + self.l2_service;
-        let l2_hit = self.l2_tags[bank].access(addr);
+        let l2_hit = self.l2_tags[bank].access_line(line);
         if l2_hit {
             self.stats.l2_hits += 1;
         } else {
@@ -428,18 +468,19 @@ impl MemSystem {
             self.stats.l2_misses += 1;
             self.stats.dram_accesses += 1;
             self.stats.dram_bytes += 64;
-            let ch = self.channel_of(addr);
+            let ch = self.channel_of_line(line);
             let d_start = (svc_start + self.l2_service).max(self.dram_next_free[ch]);
-            self.dram_next_free[ch] = d_start + Femtos::from_nanos(self.cfg.dram_service_ns);
+            self.dram_next_free[ch] = d_start + self.lat.dram_service;
         }
         // The ack returns once the bank has accepted the write; on a miss
         // the fill completes in the background (write-back model).
-        AccessOutcome { complete_at: svc_start + Femtos::from_nanos(self.cfg.store_ack_ns), l2_hit }
+        AccessOutcome { complete_at: svc_start + self.lat.store_ack, l2_hit }
     }
 
     /// Models per-CU miss-port throughput (MSHR issue rate): consecutive
     /// misses from one CU are spaced at least `miss_port_interval_cycles`
     /// CU cycles apart.
+    #[inline]
     fn acquire_miss_port(&mut self, cu: usize, now: Femtos, cu_period: Femtos) -> Femtos {
         let ready = now.max(self.miss_port_next_free[cu]);
         self.miss_port_next_free[cu] =

@@ -276,6 +276,396 @@ impl Default for Frequency {
     }
 }
 
+/// Bucket width of the [`EventWheel`] ring: 2^19 fs ≈ 0.52 ns, about one
+/// CU cycle across the 1300–2200 MHz V/f range, so a bucket usually holds
+/// the events of a single cycle.
+const WHEEL_SHIFT: u32 = 19;
+/// Ring size (power of two). `WHEEL_BUCKETS << WHEEL_SHIFT` ≈ 1.07 µs of
+/// horizon — a full default epoch — so steady-state events never spill to
+/// the overflow list.
+const WHEEL_BUCKETS: usize = 2048;
+/// Sentinel for "no live entry" in the per-CU live-time table.
+const NO_LIVE: Femtos = Femtos(u64::MAX);
+/// Sentinel for "overflow list is empty" in the cached overflow minimum;
+/// compares greater than every real `(time, cu)` entry.
+const OVER_NONE: (Femtos, u32) = (Femtos(u64::MAX), u32::MAX);
+
+/// Calendar-queue event wheel for the simulator's `(time, cu)` events.
+///
+/// Replaces the global `BinaryHeap`: events land in a ring of time buckets
+/// (width [`WHEEL_SHIFT`], one bucket ≈ one CU cycle) indexed by
+/// `time >> WHEEL_SHIFT mod WHEEL_BUCKETS`, with an occupancy bitmap for
+/// fast next-bucket scans and an overflow list for events beyond the ring
+/// horizon (or landing on a slot held by a far-future bucket). Pop order
+/// is exactly the old heap's lexicographic `(time, cu)` order (pinned by
+/// property test against a `BinaryHeap` reference).
+///
+/// Storage is arena-style: buckets and the overflow list keep their
+/// allocations across `clear`/`rebuild`, and `clone_from` reuses the
+/// destination's buffers, so steady-state simulation pushes and pops
+/// without touching the allocator.
+///
+/// The wheel also owns the per-CU event bookkeeping the `Gpu` used to
+/// approximate externally, and keeps it *exact*: `live[cu]` is the time of
+/// the CU's most recent push (its only possibly-live entry — every earlier
+/// entry for that CU is superseded by construction), so the stale tally
+/// counts precisely the entries that will be skipped on pop, with no
+/// over-approximation and no saturating corrections.
+#[derive(Debug)]
+pub struct EventWheel {
+    /// Monotone watermark: every entry in the wheel is `>= floor`, and
+    /// pushes below it are a caller bug (debug-asserted). Advanced to the
+    /// popped time by every pop.
+    floor: Femtos,
+    /// Where the global minimum lives (see [`MinLoc`]). `Ring(slot)` is
+    /// the steady state: that bucket is sorted descending and its last
+    /// element is the minimum, so peek and pop are O(1).
+    min_loc: MinLoc,
+    /// Minimum entry in `overflow` ([`OVER_NONE`] when empty) — valid only
+    /// while `min_loc` is not `Unknown` (established by the scan, tightened
+    /// by overflow pushes). Guards the O(1) pop-from-sorted-bucket
+    /// transition: the next bucket element stays the global minimum only
+    /// while it is `<= over_min`.
+    over_min: (Femtos, u32),
+    /// The ring. Each bucket holds entries of exactly one `div` (time >>
+    /// WHEEL_SHIFT) at a time, recorded in `bucket_div`.
+    buckets: Vec<Vec<(Femtos, u32)>>,
+    /// Which div currently occupies each slot (valid iff bucket nonempty).
+    bucket_div: Vec<u64>,
+    /// Occupancy bitmap over `buckets` (bit set ⇔ bucket nonempty).
+    occupied: Vec<u64>,
+    /// Entries beyond the ring horizon, or whose slot is held by another
+    /// div. Unordered; scanned linearly (far events are rare).
+    overflow: Vec<(Femtos, u32)>,
+    /// Total entries (ring + overflow).
+    len: usize,
+    /// Entries (live + stale) currently held per CU.
+    entries: Vec<u32>,
+    /// Per-CU time of the latest pushed entry ([`NO_LIVE`] when none): the
+    /// CU's unique live entry. Everything else for that CU is stale.
+    live: Vec<Femtos>,
+    /// Exactly the number of superseded entries still in the wheel.
+    stale: usize,
+}
+
+/// Location of the wheel's current global minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MinLoc {
+    /// Not cached; the next peek scans for it.
+    Unknown,
+    /// `buckets[slot]` holds the minimal occupied div, is sorted
+    /// descending, and its last element is the global minimum (which is
+    /// `<= over_floor`). Bucket divs are time-disjoint, so every other
+    /// bucket's entries are provably later.
+    Ring(usize),
+    /// `overflow[idx]` is the global minimum.
+    Over(usize),
+}
+
+impl Clone for EventWheel {
+    fn clone(&self) -> Self {
+        EventWheel {
+            floor: self.floor,
+            min_loc: self.min_loc,
+            over_min: self.over_min,
+            buckets: self.buckets.clone(),
+            bucket_div: self.bucket_div.clone(),
+            occupied: self.occupied.clone(),
+            overflow: self.overflow.clone(),
+            len: self.len,
+            entries: self.entries.clone(),
+            live: self.live.clone(),
+            stale: self.stale,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Exhaustive destructuring: a new field that is not copied here is
+        // a compile error. Vec::clone_from reuses the destination buffers
+        // (including each bucket's), keeping oracle forks allocation-free.
+        let EventWheel {
+            floor,
+            min_loc,
+            over_min,
+            buckets,
+            bucket_div,
+            occupied,
+            overflow,
+            len,
+            entries,
+            live,
+            stale,
+        } = src;
+        self.floor = *floor;
+        self.min_loc = *min_loc;
+        self.over_min = *over_min;
+        self.buckets.clone_from(buckets);
+        self.bucket_div.clone_from(bucket_div);
+        self.occupied.clone_from(occupied);
+        self.overflow.clone_from(overflow);
+        self.len = *len;
+        self.entries.clone_from(entries);
+        self.live.clone_from(live);
+        self.stale = *stale;
+    }
+}
+
+impl EventWheel {
+    /// An empty wheel for `n_cus` compute units.
+    pub fn new(n_cus: usize) -> Self {
+        EventWheel {
+            floor: Femtos::ZERO,
+            min_loc: MinLoc::Unknown,
+            over_min: OVER_NONE,
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_div: vec![0; WHEEL_BUCKETS],
+            occupied: vec![0; WHEEL_BUCKETS / 64],
+            overflow: Vec::new(),
+            len: 0,
+            entries: vec![0; n_cus],
+            live: vec![NO_LIVE; n_cus],
+            stale: 0,
+        }
+    }
+
+    /// Total entries (live + stale).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exactly the number of superseded entries currently held.
+    pub fn stale(&self) -> usize {
+        self.stale
+    }
+
+    /// The time of `cu`'s live entry, if it has one.
+    pub fn live_time(&self, cu: usize) -> Option<Femtos> {
+        let t = self.live[cu];
+        (t != NO_LIVE).then_some(t)
+    }
+
+    /// Drops every entry and resets the watermark; keeps all allocations.
+    pub fn clear(&mut self) {
+        for slot in 0..WHEEL_BUCKETS {
+            self.buckets[slot].clear();
+        }
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        self.overflow.clear();
+        self.len = 0;
+        self.entries.iter_mut().for_each(|e| *e = 0);
+        self.live.iter_mut().for_each(|l| *l = NO_LIVE);
+        self.stale = 0;
+        self.floor = Femtos::ZERO;
+        self.min_loc = MinLoc::Unknown;
+        self.over_min = OVER_NONE;
+    }
+
+    /// Pushes `cu`'s next wake-up at `t`. The new entry is the CU's live
+    /// one; a previous live entry (if any) becomes stale — counted exactly,
+    /// including the same-time duplicate case, where the older of the two
+    /// identical entries is the one that goes stale.
+    pub fn push(&mut self, t: Femtos, cu: usize) {
+        debug_assert!(t >= self.floor, "push at {t} below wheel floor {}", self.floor);
+        if self.live[cu] != NO_LIVE {
+            self.stale += 1;
+        }
+        self.live[cu] = t;
+        self.entries[cu] += 1;
+        self.insert(t, cu as u32);
+    }
+
+    /// Inserts an entry restored from a snapshot, with liveness decided by
+    /// the caller (only the entry matching the CU's scheduled cycle is
+    /// live; legacy snapshots may carry stale duplicates).
+    pub(crate) fn insert_for_load(&mut self, t: Femtos, cu: usize, live: bool) {
+        if live {
+            debug_assert_eq!(self.live[cu], NO_LIVE, "CU {cu} has two live entries");
+            self.live[cu] = t;
+        } else {
+            self.stale += 1;
+        }
+        self.entries[cu] += 1;
+        self.insert(t, cu as u32);
+    }
+
+    /// The current global minimum when one is cached (`None` in the
+    /// `Unknown` state).
+    fn cached_min(&self) -> Option<(Femtos, u32)> {
+        match self.min_loc {
+            MinLoc::Unknown => None,
+            MinLoc::Ring(slot) => Some(*self.buckets[slot].last().expect("hot bucket nonempty")),
+            MinLoc::Over(idx) => Some(self.overflow[idx]),
+        }
+    }
+
+    fn insert(&mut self, t: Femtos, cu: u32) {
+        self.len += 1;
+        let div = t.0 >> WHEEL_SHIFT;
+        let slot = (div as usize) & (WHEEL_BUCKETS - 1);
+        if !self.buckets[slot].is_empty() && self.bucket_div[slot] == div {
+            if self.min_loc == MinLoc::Ring(slot) {
+                // Keep the hot bucket sorted descending so its back stays
+                // the global minimum (a smaller entry becomes the new back,
+                // which is still `< over_min` because the old back was).
+                let b = &mut self.buckets[slot];
+                let pos = b.partition_point(|&e| e > (t, cu));
+                b.insert(pos, (t, cu));
+                return;
+            }
+            self.buckets[slot].push((t, cu));
+        } else if self.buckets[slot].is_empty() {
+            self.bucket_div[slot] = div;
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.buckets[slot].push((t, cu));
+        } else {
+            // Slot held by another div (an event > the ring horizon away).
+            self.overflow.push((t, cu));
+            if (t, cu) < self.over_min {
+                self.over_min = (t, cu);
+                if let MinLoc::Over(idx) = self.min_loc {
+                    // Smaller than the cached overflow minimum: if that was
+                    // also the global minimum, the new entry now is.
+                    if (t, cu) < self.overflow[idx] {
+                        self.min_loc = MinLoc::Over(self.overflow.len() - 1);
+                        return;
+                    }
+                }
+            }
+        }
+        // An entry smaller than the cached global minimum (outside the hot
+        // bucket) invalidates the cache; the next peek rescans.
+        if let Some(min) = self.cached_min() {
+            if (t, cu) < min {
+                self.min_loc = MinLoc::Unknown;
+            }
+        }
+    }
+
+    /// The earliest `(time, cu)` entry, in the heap's lexicographic order.
+    /// Takes `&mut self` to cache the min location until it is
+    /// invalidated; the steady state (`MinLoc::Ring`) answers in O(1).
+    pub fn peek(&mut self) -> Option<(Femtos, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.min_loc == MinLoc::Unknown {
+            self.establish_min();
+        }
+        self.cached_min().map(|(t, cu)| (t, cu as usize))
+    }
+
+    /// Locates the global minimum: walk the ring from the watermark's
+    /// bucket (bitmap-accelerated) to the first in-horizon occupied
+    /// bucket, sort it descending (making it the *hot bucket* — later
+    /// peeks and pops work off its back in O(1)), then compare against the
+    /// overflow minimum. If a full ring revolution finds nothing
+    /// in-horizon (the next event is > the horizon away), fall back to the
+    /// bucket holding the globally minimal div.
+    fn establish_min(&mut self) {
+        debug_assert!(self.len > 0);
+        let start_div = self.floor.0 >> WHEEL_SHIFT;
+        let mut ring_slot = None;
+        let mut step = 0u64;
+        while step < WHEEL_BUCKETS as u64 {
+            let div = start_div + step;
+            let slot = (div as usize) & (WHEEL_BUCKETS - 1);
+            let word = self.occupied[slot / 64];
+            if word == 0 {
+                // Hop over the whole empty bitmap word.
+                step += 64 - (slot as u64 % 64);
+                continue;
+            }
+            if word & (1 << (slot % 64)) == 0 || self.bucket_div[slot] != div {
+                step += 1;
+                continue;
+            }
+            ring_slot = Some(slot);
+            break;
+        }
+        if ring_slot.is_none() {
+            // Everything in the ring is beyond the horizon from the
+            // watermark. Buckets are div-pure and divs order times, so the
+            // minimal-div bucket holds the minimal ring entry.
+            ring_slot = (0..WHEEL_BUCKETS)
+                .filter(|&slot| !self.buckets[slot].is_empty())
+                .min_by_key(|&slot| self.bucket_div[slot]);
+        }
+        self.over_min = self.overflow.iter().copied().min().unwrap_or(OVER_NONE);
+        match ring_slot {
+            Some(slot) => {
+                let b = &mut self.buckets[slot];
+                b.sort_unstable_by(|a, b| b.cmp(a));
+                if self.over_min < *b.last().expect("occupied bucket nonempty") {
+                    let idx = self
+                        .overflow
+                        .iter()
+                        .position(|&e| e == self.over_min)
+                        .expect("over_min just scanned from overflow");
+                    self.min_loc = MinLoc::Over(idx);
+                } else {
+                    self.min_loc = MinLoc::Ring(slot);
+                }
+            }
+            None => {
+                debug_assert_ne!(self.over_min, OVER_NONE, "len > 0 but ring and overflow empty");
+                let idx = self
+                    .overflow
+                    .iter()
+                    .position(|&e| e == self.over_min)
+                    .expect("over_min just scanned from overflow");
+                self.min_loc = MinLoc::Over(idx);
+            }
+        }
+    }
+
+    /// Removes and returns the earliest entry plus whether it was the
+    /// owning CU's live entry (`false` ⇒ it was superseded and the caller
+    /// will skip it). Advances the watermark to the popped time.
+    pub fn pop(&mut self) -> Option<(Femtos, usize, bool)> {
+        let (t, cu) = self.peek()?;
+        match self.min_loc {
+            MinLoc::Ring(slot) => {
+                let b = &mut self.buckets[slot];
+                let popped = b.pop().expect("hot bucket nonempty");
+                debug_assert_eq!(popped, (t, cu as u32));
+                if b.is_empty() {
+                    self.occupied[slot / 64] &= !(1 << (slot % 64));
+                    self.min_loc = MinLoc::Unknown;
+                } else if *b.last().expect("just checked nonempty") > self.over_min {
+                    // The overflow minimum slipped below the bucket's next
+                    // entry; rescan on the next peek.
+                    self.min_loc = MinLoc::Unknown;
+                }
+                // Otherwise the hot bucket's new back is still the global
+                // minimum: the bucket is sorted, other buckets hold other
+                // (later) divs, and the overflow minimum is not smaller.
+            }
+            MinLoc::Over(idx) => {
+                self.overflow.swap_remove(idx);
+                // `over_min` is stale until the next establish_min rescan.
+                self.min_loc = MinLoc::Unknown;
+            }
+            MinLoc::Unknown => unreachable!("peek established the min location"),
+        }
+        self.len -= 1;
+        self.entries[cu] -= 1;
+        self.floor = t;
+        let was_live = self.live[cu] == t;
+        if was_live {
+            self.live[cu] = NO_LIVE;
+        } else {
+            debug_assert!(self.stale > 0, "stale pop with zero stale tally");
+            self.stale -= 1;
+        }
+        Some((t, cu, was_live))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +736,129 @@ mod tests {
     fn sum_of_femtos() {
         let total: Femtos = [Femtos(1), Femtos(2), Femtos(3)].into_iter().sum();
         assert_eq!(total, Femtos(6));
+    }
+
+    /// Reference model for [`EventWheel`]: the `BinaryHeap` the simulator
+    /// used before the wheel, plus the same last-push-is-live bookkeeping.
+    /// Pop order is the heap's lexicographic `(time, cu)` order.
+    struct RefHeap {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(Femtos, u32)>>,
+        live: Vec<Femtos>,
+        stale: usize,
+    }
+
+    impl RefHeap {
+        fn new(n_cus: usize) -> Self {
+            RefHeap {
+                heap: std::collections::BinaryHeap::new(),
+                live: vec![NO_LIVE; n_cus],
+                stale: 0,
+            }
+        }
+        fn push(&mut self, t: Femtos, cu: usize) {
+            if self.live[cu] != NO_LIVE {
+                self.stale += 1;
+            }
+            self.live[cu] = t;
+            self.heap.push(std::cmp::Reverse((t, cu as u32)));
+        }
+        fn peek(&self) -> Option<(Femtos, usize)> {
+            self.heap.peek().map(|&std::cmp::Reverse((t, cu))| (t, cu as usize))
+        }
+        fn pop(&mut self) -> Option<(Femtos, usize, bool)> {
+            let std::cmp::Reverse((t, cu)) = self.heap.pop()?;
+            let cu = cu as usize;
+            let was_live = self.live[cu] == t;
+            if was_live {
+                self.live[cu] = NO_LIVE;
+            } else {
+                self.stale -= 1;
+            }
+            Some((t, cu, was_live))
+        }
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// The wheel's push/pop behavior is pinned against the old binary-heap
+    /// semantics over seeded random event streams: identical pop sequences
+    /// (same `(time, cu)` tie-break, same liveness flags), identical peeks,
+    /// and an identical exact stale tally after every operation. Push
+    /// deltas are drawn to hit every wheel path: same-bucket collisions,
+    /// cross-ring hops, slot collisions between different divs, and
+    /// beyond-horizon entries in the overflow list.
+    #[test]
+    fn wheel_pop_order_matches_heap_reference() {
+        const HORIZON: u64 = (WHEEL_BUCKETS as u64) << WHEEL_SHIFT;
+        for seed in 1..=8u64 {
+            let n_cus = 6;
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut wheel = EventWheel::new(n_cus);
+            let mut reference = RefHeap::new(n_cus);
+            let mut floor = Femtos::ZERO;
+            for op in 0..20_000 {
+                if wheel.is_empty() || xorshift(&mut rng) % 100 < 55 {
+                    let cu = (xorshift(&mut rng) as usize) % n_cus;
+                    let delta = match xorshift(&mut rng) % 10 {
+                        0 => 0, // same-time duplicate territory
+                        1..=5 => xorshift(&mut rng) % (1 << WHEEL_SHIFT),
+                        6..=7 => xorshift(&mut rng) % (64 << WHEEL_SHIFT),
+                        8 => xorshift(&mut rng) % HORIZON,
+                        _ => HORIZON + xorshift(&mut rng) % (4 * HORIZON),
+                    };
+                    let t = Femtos(floor.0 + delta);
+                    wheel.push(t, cu);
+                    reference.push(t, cu);
+                } else {
+                    let got = wheel.pop();
+                    let want = reference.pop();
+                    assert_eq!(got, want, "seed {seed}, op {op}: pop diverged");
+                    if let Some((t, _, _)) = got {
+                        floor = t;
+                    }
+                }
+                assert_eq!(wheel.len(), reference.heap.len(), "seed {seed}, op {op}");
+                assert_eq!(wheel.stale(), reference.stale, "seed {seed}, op {op}");
+                assert_eq!(wheel.peek(), reference.peek(), "seed {seed}, op {op}");
+            }
+            while let Some(got) = wheel.pop() {
+                assert_eq!(Some(got), reference.pop(), "seed {seed}: drain diverged");
+            }
+            assert!(reference.pop().is_none(), "reference still had entries");
+            assert_eq!(wheel.stale(), 0);
+            assert_eq!(wheel.live_time(0), None);
+        }
+    }
+
+    /// The stale tally is exact (not a bound): after re-timing every CU
+    /// several times, it equals precisely the number of superseded pushes,
+    /// and draining the wheel skips exactly that many entries.
+    #[test]
+    fn stale_tally_is_exact_under_retiming() {
+        let n = 4;
+        let mut w = EventWheel::new(n);
+        for round in 0..5u64 {
+            for cu in 0..n {
+                w.push(Femtos(1_000_000 + round * 1_000 + cu as u64), cu);
+            }
+        }
+        assert_eq!(w.len(), 20);
+        assert_eq!(w.stale(), 16, "every push but each CU's last must count stale");
+        let (mut live_pops, mut stale_pops) = (0, 0);
+        while let Some((_, _, was_live)) = w.pop() {
+            if was_live {
+                live_pops += 1;
+            } else {
+                stale_pops += 1;
+            }
+        }
+        assert_eq!((live_pops, stale_pops), (n, 16));
+        assert_eq!(w.stale(), 0);
+        assert!(w.is_empty());
     }
 }

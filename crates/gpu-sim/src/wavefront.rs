@@ -1,10 +1,18 @@
-//! Per-wavefront architectural and telemetry state.
+//! Per-wavefront *cold* architectural and telemetry state.
+//!
+//! The hot scheduling fields the CU touches every cycle for every slot —
+//! active/barrier/finished state, `wait_until`, PC index and age — live in
+//! dense struct-of-arrays form on [`crate::cu::Cu`] (`wf_state`,
+//! `wf_wait`, `wf_pc`, `wf_age`), so the per-cycle ready scan walks a few
+//! cache lines instead of striding over these ~200-byte payload structs.
+//! This struct keeps everything the CU only touches when a wavefront
+//! actually issues (identity, address-stream counters, outstanding memory
+//! operations) or at epoch boundaries (telemetry).
 
-use crate::isa::{pc_of_index, Pc};
 use crate::time::Femtos;
 use serde::{Deserialize, Serialize};
 
-/// One wavefront slot's state within a compute unit.
+/// One wavefront slot's cold state within a compute unit.
 ///
 /// Wavefronts execute in order; asynchronous memory operations are tracked
 /// as absolute completion timestamps in `pending_loads`/`pending_stores`,
@@ -12,19 +20,12 @@ use serde::{Deserialize, Serialize};
 /// events are needed).
 #[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Wavefront {
-    /// Whether this slot currently holds a live wavefront.
-    pub active: bool,
     /// Globally unique id (drives address streams and loop jitter).
     pub uid: u64,
-    /// Dispatch order; the scheduler picks the smallest age first
-    /// ("oldest-first", the policy the paper attributes contention to).
-    pub age: u64,
     /// Index into the CU's workgroup table.
     pub wg_local: u8,
     /// Which kernel of the app this wavefront executes.
     pub kernel_idx: u32,
-    /// Current instruction index (PC is `4 *` this).
-    pub pc_index: u32,
     /// Per-loop iteration counters, sized to the kernel's loop table.
     pub branch_iters: Vec<u16>,
     /// Dynamic memory-operation counter (address-stream position).
@@ -33,17 +34,11 @@ pub struct Wavefront {
     pub pending_loads: Vec<Femtos>,
     /// Ack timestamps of outstanding stores.
     pub pending_stores: Vec<Femtos>,
-    /// Earliest time this wavefront may issue its next instruction.
-    pub wait_until: Femtos,
     /// Until when the wavefront is blocked on memory (`s_waitcnt`); used to
     /// attribute boundary-spanning stalls to the right epoch.
     pub mem_blocked_until: Femtos,
-    /// Whether this wavefront is blocked at a workgroup barrier.
-    pub at_barrier: bool,
     /// When the wavefront entered the barrier (for stall accounting).
     pub barrier_since: Femtos,
-    /// Whether the wavefront has executed `EndKernel`.
-    pub finished: bool,
 
     // ---- per-epoch telemetry (reset by `begin_epoch`) ----
     /// Instructions committed this epoch.
@@ -79,21 +74,15 @@ impl Clone for Wavefront {
         // Exhaustive destructuring: adding a field without updating this
         // copy is a compile error, not a silent stale-state bug.
         let Wavefront {
-            active,
             uid,
-            age,
             wg_local,
             kernel_idx,
-            pc_index,
             branch_iters,
             mem_counter,
             pending_loads,
             pending_stores,
-            wait_until,
             mem_blocked_until,
-            at_barrier,
             barrier_since,
-            finished,
             e_committed,
             e_stall,
             e_barrier_stall,
@@ -103,21 +92,15 @@ impl Clone for Wavefront {
             e_start_blocked,
             e_present,
         } = src;
-        self.active = *active;
         self.uid = *uid;
-        self.age = *age;
         self.wg_local = *wg_local;
         self.kernel_idx = *kernel_idx;
-        self.pc_index = *pc_index;
         self.branch_iters.clone_from(branch_iters);
         self.mem_counter = *mem_counter;
         self.pending_loads.clone_from(pending_loads);
         self.pending_stores.clone_from(pending_stores);
-        self.wait_until = *wait_until;
         self.mem_blocked_until = *mem_blocked_until;
-        self.at_barrier = *at_barrier;
         self.barrier_since = *barrier_since;
-        self.finished = *finished;
         self.e_committed = *e_committed;
         self.e_stall = *e_stall;
         self.e_barrier_stall = *e_barrier_stall;
@@ -129,117 +112,19 @@ impl Clone for Wavefront {
     }
 }
 
-/// Mirrors the manual `Clone` above: the same exhaustive destructuring, so
-/// a new field breaks this impl at compile time too.
-impl snapshot::Snapshot for Wavefront {
-    fn encode(&self, w: &mut snapshot::Encoder) {
-        let Wavefront {
-            active,
-            uid,
-            age,
-            wg_local,
-            kernel_idx,
-            pc_index,
-            branch_iters,
-            mem_counter,
-            pending_loads,
-            pending_stores,
-            wait_until,
-            mem_blocked_until,
-            at_barrier,
-            barrier_since,
-            finished,
-            e_committed,
-            e_stall,
-            e_barrier_stall,
-            e_sched_wait,
-            e_lead,
-            e_start_pc_index,
-            e_start_blocked,
-            e_present,
-        } = self;
-        w.put_bool(*active);
-        w.put_u64(*uid);
-        w.put_u64(*age);
-        w.put_u8(*wg_local);
-        w.put_u32(*kernel_idx);
-        w.put_u32(*pc_index);
-        w.put_usize(branch_iters.len());
-        for &it in branch_iters {
-            w.put_u16(it);
-        }
-        w.put_u64(*mem_counter);
-        pending_loads.encode(w);
-        pending_stores.encode(w);
-        wait_until.encode(w);
-        mem_blocked_until.encode(w);
-        w.put_bool(*at_barrier);
-        barrier_since.encode(w);
-        w.put_bool(*finished);
-        w.put_u32(*e_committed);
-        e_stall.encode(w);
-        e_barrier_stall.encode(w);
-        e_sched_wait.encode(w);
-        e_lead.encode(w);
-        w.put_u32(*e_start_pc_index);
-        w.put_bool(*e_start_blocked);
-        w.put_bool(*e_present);
-    }
-    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
-        Ok(Wavefront {
-            active: r.take_bool()?,
-            uid: r.take_u64()?,
-            age: r.take_u64()?,
-            wg_local: r.take_u8()?,
-            kernel_idx: r.take_u32()?,
-            pc_index: r.take_u32()?,
-            branch_iters: {
-                let n = r.take_len()?;
-                let mut v = Vec::with_capacity(n);
-                for _ in 0..n {
-                    v.push(r.take_u16()?);
-                }
-                v
-            },
-            mem_counter: r.take_u64()?,
-            pending_loads: Vec::<Femtos>::decode(r)?,
-            pending_stores: Vec::<Femtos>::decode(r)?,
-            wait_until: Femtos::decode(r)?,
-            mem_blocked_until: Femtos::decode(r)?,
-            at_barrier: r.take_bool()?,
-            barrier_since: Femtos::decode(r)?,
-            finished: r.take_bool()?,
-            e_committed: r.take_u32()?,
-            e_stall: Femtos::decode(r)?,
-            e_barrier_stall: Femtos::decode(r)?,
-            e_sched_wait: Femtos::decode(r)?,
-            e_lead: Femtos::decode(r)?,
-            e_start_pc_index: r.take_u32()?,
-            e_start_blocked: r.take_bool()?,
-            e_present: r.take_bool()?,
-        })
-    }
-}
-
 impl Wavefront {
     /// An empty (inactive) slot.
     pub fn empty() -> Self {
         Wavefront {
-            active: false,
             uid: 0,
-            age: 0,
             wg_local: 0,
             kernel_idx: 0,
-            pc_index: 0,
             branch_iters: Vec::new(),
             mem_counter: 0,
             pending_loads: Vec::new(),
             pending_stores: Vec::new(),
-            wait_until: Femtos::ZERO,
             mem_blocked_until: Femtos::ZERO,
-            at_barrier: false,
             barrier_since: Femtos::ZERO,
-            finished: false,
             e_committed: 0,
             e_stall: Femtos::ZERO,
             e_barrier_stall: Femtos::ZERO,
@@ -251,36 +136,20 @@ impl Wavefront {
         }
     }
 
-    /// (Re-)initializes the slot for a freshly dispatched wavefront.
-    pub fn dispatch(&mut self, uid: u64, age: u64, wg_local: u8, kernel_idx: u32, n_loops: usize) {
-        self.active = true;
+    /// (Re-)initializes the cold state for a freshly dispatched wavefront.
+    /// The hot SoA fields (state, wait, PC, age) are reset by the CU.
+    pub fn dispatch(&mut self, uid: u64, wg_local: u8, kernel_idx: u32, n_loops: usize) {
         self.uid = uid;
-        self.age = age;
         self.wg_local = wg_local;
         self.kernel_idx = kernel_idx;
-        self.pc_index = 0;
         self.branch_iters.clear();
         self.branch_iters.resize(n_loops, 0);
         self.mem_counter = 0;
         self.pending_loads.clear();
         self.pending_stores.clear();
         self.mem_blocked_until = Femtos::ZERO;
-        self.at_barrier = false;
-        self.finished = false;
         self.e_present = true;
         self.e_start_pc_index = 0;
-    }
-
-    /// Current PC as a byte address.
-    #[inline]
-    pub fn pc(&self) -> Pc {
-        pc_of_index(self.pc_index as usize)
-    }
-
-    /// Whether the wavefront can issue at time `now`.
-    #[inline]
-    pub fn ready(&self, now: Femtos) -> bool {
-        self.active && !self.finished && !self.at_barrier && self.wait_until <= now
     }
 
     /// Removes completed loads (completion time ≤ `now`).
@@ -307,18 +176,20 @@ impl Wavefront {
         deadline(&mut self.pending_stores, now, target)
     }
 
-    /// Resets per-epoch telemetry and records the epoch's starting PC.
-    /// A memory stall still in progress at the boundary is carried into the
-    /// new epoch (its tail was not charged to the previous one).
-    pub fn begin_epoch(&mut self, epoch_start: Femtos) {
+    /// Resets per-epoch telemetry. `pc_index` is the slot's current (hot)
+    /// PC index and `live` whether the slot holds a live wavefront — both
+    /// owned by the CU's SoA arrays. A memory stall still in progress at
+    /// the boundary is carried into the new epoch (its tail was not charged
+    /// to the previous one).
+    pub fn begin_epoch(&mut self, epoch_start: Femtos, pc_index: u32, live: bool) {
         self.e_committed = 0;
         self.e_stall = self.mem_blocked_until.saturating_sub(epoch_start);
         self.e_start_blocked = self.mem_blocked_until > epoch_start;
         self.e_barrier_stall = Femtos::ZERO;
         self.e_sched_wait = Femtos::ZERO;
         self.e_lead = Femtos::ZERO;
-        self.e_start_pc_index = self.pc_index;
-        self.e_present = self.active && !self.finished;
+        self.e_start_pc_index = pc_index;
+        self.e_present = live;
     }
 }
 
@@ -341,33 +212,13 @@ mod tests {
     fn dispatch_resets_state() {
         let mut wf = Wavefront::empty();
         wf.pending_loads.push(Femtos(5));
-        wf.pc_index = 9;
-        wf.finished = true;
-        wf.dispatch(7, 3, 1, 2, 4);
-        assert!(wf.active);
-        assert!(!wf.finished);
-        assert_eq!(wf.pc_index, 0);
+        wf.mem_counter = 9;
+        wf.dispatch(7, 1, 2, 4);
         assert_eq!(wf.branch_iters, vec![0; 4]);
         assert!(wf.pending_loads.is_empty());
+        assert_eq!(wf.mem_counter, 0);
         assert_eq!(wf.uid, 7);
-        assert_eq!(wf.pc(), 0);
-    }
-
-    #[test]
-    fn readiness_conditions() {
-        let mut wf = Wavefront::empty();
-        wf.dispatch(1, 1, 0, 0, 0);
-        let t = Femtos(100);
-        assert!(wf.ready(t));
-        wf.wait_until = Femtos(200);
-        assert!(!wf.ready(t));
-        wf.wait_until = Femtos(100);
-        assert!(wf.ready(t));
-        wf.at_barrier = true;
-        assert!(!wf.ready(t));
-        wf.at_barrier = false;
-        wf.finished = true;
-        assert!(!wf.ready(t));
+        assert!(wf.e_present);
     }
 
     #[test]
@@ -401,10 +252,9 @@ mod tests {
     #[test]
     fn begin_epoch_snapshots_pc() {
         let mut wf = Wavefront::empty();
-        wf.dispatch(1, 1, 0, 0, 0);
-        wf.pc_index = 12;
+        wf.dispatch(1, 0, 0, 0);
         wf.e_committed = 55;
-        wf.begin_epoch(Femtos::ZERO);
+        wf.begin_epoch(Femtos::ZERO, 12, true);
         assert_eq!(wf.e_start_pc_index, 12);
         assert_eq!(wf.e_committed, 0);
         assert!(wf.e_present);

@@ -86,4 +86,23 @@ PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench parsim
 echo "==> hotpath smoke bench (epochs/sec regression gate)"
 PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench hotpath
 
+# Policy-server determinism at the thread-count extremes: the chaos soak
+# (20%-intensity fault storm, hung tenants, torn restore reads, mid-soak
+# kill/recover) pins zero tenants lost, zero missed cap epochs, and
+# bit-identical decision digests at shard counts 1/2/8 — on one inline
+# lane and on 8 workers. The evict/storm/restore fuzz pins restored
+# tenants bit-identical to never-evicted twins.
+echo "==> policy-server chaos soak & evict/restore fuzz @ PCSTALL_THREADS=1"
+PCSTALL_THREADS=1 cargo test -q -p serve --test chaos_soak --test evict_restore
+
+echo "==> policy-server chaos soak & evict/restore fuzz @ PCSTALL_THREADS=8"
+PCSTALL_THREADS=8 cargo test -q -p serve --test chaos_soak --test evict_restore
+
+echo "==> policy-server soak via the CLI (storm + torn reads + kill/recover)"
+cargo run -q --release --bin repro -- serve --tenants 32 --epochs 60 --shards 2 \
+  --faults storm=0.2,seed=9,hang=0.25 --torn 0.25 --kill-at 31
+
+echo "==> server smoke bench (decisions/sec + p99 epoch latency)"
+PCSTALL_BENCH_SMOKE=1 cargo bench -p bench --bench server
+
 echo "CI OK"

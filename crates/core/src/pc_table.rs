@@ -211,9 +211,71 @@ impl PcTable {
     }
 }
 
+impl snapshot::Snapshot for PcTableConfig {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let PcTableConfig { entries, offset_bits, quantize, ewma_alpha } = *self;
+        w.put_usize(entries);
+        w.put_u32(offset_bits);
+        w.put_bool(quantize);
+        w.put_f64(ewma_alpha);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(PcTableConfig {
+            entries: r.take_usize()?,
+            offset_bits: r.take_u32()?,
+            quantize: r.take_bool()?,
+            ewma_alpha: r.take_f64()?,
+        })
+    }
+}
+
+/// Bit-exact table state, including the hit/miss/update counters, so an
+/// evicted tenant's predictor restores indistinguishable from one that
+/// never left memory. Lives here because the fields are private by design.
+impl snapshot::Snapshot for PcTable {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        self.cfg.encode(w);
+        w.put_usize(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                Some(m) => {
+                    w.put_bool(true);
+                    m.encode(w);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.updates);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        let cfg = PcTableConfig::decode(r)?;
+        let n = r.take_usize()?;
+        if !cfg.entries.is_power_of_two() || n != cfg.entries {
+            return Err(snapshot::SnapError::Invalid(format!(
+                "pc table geometry: {n} entries for config of {}",
+                cfg.entries
+            )));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(if r.take_bool()? { Some(LinearModel::decode(r)?) } else { None });
+        }
+        Ok(PcTable {
+            cfg,
+            entries,
+            hits: r.take_u64()?,
+            misses: r.take_u64()?,
+            updates: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snapshot::Snapshot as _;
 
     fn table() -> PcTable {
         PcTable::new(PcTableConfig::default())
@@ -291,6 +353,45 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_entries_panics() {
         let _ = PcTable::new(PcTableConfig { entries: 100, ..Default::default() });
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact() {
+        let mut t = PcTable::new(PcTableConfig { quantize: true, ..Default::default() });
+        for pc in (0..0x900).step_by(0x30) {
+            t.update(pc as Pc, LinearModel { i0: pc as f64 * 0.37, s: 0.001 * (pc % 13) as f64 });
+        }
+        t.lookup(0x40);
+        t.lookup(0x9990); // a miss, to exercise the counters
+        let mut w = snapshot::Encoder::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = snapshot::Decoder::new(&bytes);
+        let back = PcTable::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.hits(), t.hits());
+        assert_eq!(back.misses(), t.misses());
+        // Re-encoding yields identical bytes.
+        let mut w2 = snapshot::Encoder::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_geometry_mismatch() {
+        let t = table();
+        let mut w = snapshot::Encoder::new();
+        // Encode a config claiming 128 entries but only store 1.
+        t.config().encode(&mut w);
+        w.put_usize(1);
+        w.put_bool(false);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        let bytes = w.into_bytes();
+        let mut r = snapshot::Decoder::new(&bytes);
+        assert!(PcTable::decode(&mut r).is_err());
     }
 
     #[test]

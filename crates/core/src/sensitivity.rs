@@ -58,6 +58,19 @@ impl LinearModel {
     }
 }
 
+/// Linear models ride in per-tenant predictor snapshots (the policy
+/// server's eviction/restore path) — encoding is the bit-exact f64 pair.
+impl snapshot::Snapshot for LinearModel {
+    fn encode(&self, w: &mut snapshot::Encoder) {
+        let LinearModel { i0, s } = *self;
+        w.put_f64(i0);
+        w.put_f64(s);
+    }
+    fn decode(r: &mut snapshot::Decoder) -> Result<Self, snapshot::SnapError> {
+        Ok(LinearModel { i0: r.take_f64()?, s: r.take_f64()? })
+    }
+}
+
 impl Add for LinearModel {
     type Output = LinearModel;
     fn add(self, rhs: LinearModel) -> LinearModel {

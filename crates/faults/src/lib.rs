@@ -39,19 +39,38 @@ use std::sync::Mutex;
 
 /// Channel tags keep the per-epoch decision streams independent: the same
 /// `(seed, epoch)` must not correlate a telemetry drop with an actuation
-/// drop.
-mod channel {
+/// drop. Public so downstream consumers (the policy server's chaos soak)
+/// can draw on their own channels through [`draw`] without colliding.
+pub mod channel {
+    /// Telemetry dropout.
     pub const TELEMETRY: u64 = 0x01;
+    /// Telemetry staleness (previous delivery replayed).
     pub const STALE: u64 = 0x02;
+    /// Whether this epoch's counters are noised.
     pub const NOISE: u64 = 0x03;
+    /// Per-CU noise scale factors.
     pub const NOISE_SCALE: u64 = 0x04;
+    /// Dropped V/f transitions.
     pub const ACTUATION: u64 = 0x05;
+    /// Delayed V/f transitions.
     pub const ACT_DELAY: u64 = 0x06;
+    /// Thermal-clamp event starts.
     pub const CLAMP: u64 = 0x07;
+    /// Panicking-lane chaos ([`crate::PanicPlan`]).
     pub const CHAOS: u64 = 0x08;
+    /// Hanging-lane chaos.
     pub const HANG: u64 = 0x09;
+    /// Slow-lane chaos.
     pub const SLOW: u64 = 0x0A;
+    /// Livelocking-lane chaos.
     pub const LIVELOCK: u64 = 0x0B;
+    /// Storm-window placement (one draw per window, shared by every
+    /// channel — that sharing is what correlates the burst).
+    pub const STORM: u64 = 0x0C;
+    /// Torn snapshot reads (consumed by the `serve` chaos soak).
+    pub const TORN: u64 = 0x0D;
+    /// Hung-tenant arming (consumed by the `serve` chaos soak).
+    pub const TENANT_HANG: u64 = 0x0E;
 }
 
 /// splitmix64 finalizer: a high-quality 64-bit mixing permutation.
@@ -59,6 +78,14 @@ fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// A uniform sample in `[0, 1)` that is a pure function of its inputs —
+/// the crate's counter-based RNG, exported so downstream seeded decisions
+/// (tenant workload synthesis, torn-read schedules) stay in the same
+/// deterministic domain instead of growing private RNG copies.
+pub fn draw(seed: u64, epoch: u64, chan: u64, lane: u64) -> f64 {
+    unit(seed, epoch, chan, lane)
 }
 
 /// A uniform sample in `[0, 1)` that is a pure function of its inputs.
@@ -123,6 +150,21 @@ pub struct FaultConfig {
     /// Per-grid-cell probability that the cell's lane livelocks (burns CPU
     /// without progress until cancelled).
     pub livelock_rate: f64,
+    /// Storm window length in epochs (0 disables the storm profile and
+    /// every channel fires independently at its base rate, exactly as
+    /// before this field existed).
+    pub storm_period: u32,
+    /// Burst length in epochs within each window. The burst's placement
+    /// inside the window is drawn once per window on
+    /// [`channel::STORM`] and shared by *every* channel — inside the burst
+    /// all rates are boosted together, which is what makes storm faults
+    /// cross-channel correlated rather than independent.
+    pub storm_burst: u32,
+    /// Rate multiplier inside a burst (clamped so probabilities stay ≤ 1).
+    pub storm_boost: f64,
+    /// Rate multiplier outside bursts (< 1 keeps the long-run mean near
+    /// the base rate while concentrating faults into bursts).
+    pub storm_calm: f64,
 }
 
 impl Default for FaultConfig {
@@ -144,6 +186,10 @@ impl Default for FaultConfig {
             slow_rate: 0.0,
             slow_ms: 0,
             livelock_rate: 0.0,
+            storm_period: 0,
+            storm_burst: 0,
+            storm_boost: 1.0,
+            storm_calm: 1.0,
         }
     }
 }
@@ -175,7 +221,57 @@ impl FaultConfig {
             slow_rate: 0.0,
             slow_ms: 0,
             livelock_rate: 0.0,
+            storm_period: 0,
+            storm_burst: 0,
+            storm_boost: 1.0,
+            storm_calm: 1.0,
         }
+    }
+
+    /// A storm profile: the proportional profile's rates, but concentrated
+    /// into seeded bursts. Each 32-epoch window hides one 8-epoch burst at
+    /// a seeded offset during which every channel fires at 3× its base
+    /// rate; between bursts channels idle at ¼ rate. The long-run mean
+    /// stays near `rate` (8·3 + 24·0.25 = 30 of 32 epoch-equivalents) but
+    /// faults arrive correlated across channels and clustered in time —
+    /// the regime that defeats independent-failure assumptions.
+    pub fn storm(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            storm_period: 32,
+            storm_burst: 8,
+            storm_boost: 3.0,
+            storm_calm: 0.25,
+            ..FaultConfig::profile(rate, seed)
+        }
+    }
+
+    /// Whether `epoch` falls inside this configuration's storm burst.
+    /// Always false when the storm profile is disabled. Pure function of
+    /// `(seed, epoch, storm geometry)`: the burst offset within each
+    /// window is one [`channel::STORM`] draw on the window index, so all
+    /// channels (and all lanes) share the same burst schedule.
+    pub fn storm_active(&self, epoch: u64) -> bool {
+        if self.storm_period == 0 || self.storm_burst == 0 {
+            return false;
+        }
+        let period = u64::from(self.storm_period);
+        let burst = u64::from(self.storm_burst).min(period);
+        let window = epoch / period;
+        let slack = period - burst;
+        let offset = (unit(self.seed, window, channel::STORM, 0) * (slack + 1) as f64) as u64;
+        let pos = epoch % period;
+        pos >= offset && pos < offset + burst
+    }
+
+    /// The rate a channel with base probability `base` fires at during
+    /// `epoch`, after storm modulation. Identical to `base` when the storm
+    /// profile is disabled, so pre-storm fault streams are bit-identical.
+    pub fn effective_rate(&self, base: f64, epoch: u64) -> f64 {
+        if base == 0.0 || self.storm_period == 0 || self.storm_burst == 0 {
+            return base;
+        }
+        let factor = if self.storm_active(epoch) { self.storm_boost } else { self.storm_calm };
+        (base * factor).clamp(0.0, 1.0)
     }
 
     /// Whether this configuration can never perturb the *control loop*.
@@ -196,10 +292,12 @@ impl FaultConfig {
     /// format). `rate=R` expands to [`FaultConfig::profile`] first;
     /// later keys override individual fields. Recognized keys:
     ///
-    /// `rate`, `seed`, `drop`, `stale`, `noise`, `noise_bound`,
+    /// `rate`, `storm`, `seed`, `drop`, `stale`, `noise`, `noise_bound`,
     /// `act_drop`, `act_delay`, `settle_ns`, `relock_ns`, `clamp`,
     /// `clamp_epochs`, `clamp_states`, `hang`, `slow`, `slow_ms`,
-    /// `livelock`.
+    /// `livelock`, `storm_period`, `storm_burst`, `storm_boost`,
+    /// `storm_calm`. `storm=R` expands to [`FaultConfig::storm`] the way
+    /// `rate=R` expands to [`FaultConfig::profile`].
     ///
     /// # Errors
     ///
@@ -233,13 +331,18 @@ impl FaultConfig {
         for &(k, v) in &pairs {
             if k == "seed" {
                 cfg.seed = int(k, v)?;
-            } else if k == "rate" {
+            }
+        }
+        for &(k, v) in &pairs {
+            if k == "rate" {
                 cfg = FaultConfig { seed: cfg.seed, ..FaultConfig::profile(prob(k, v)?, cfg.seed) };
+            } else if k == "storm" {
+                cfg = FaultConfig { seed: cfg.seed, ..FaultConfig::storm(prob(k, v)?, cfg.seed) };
             }
         }
         for &(k, v) in &pairs {
             match k {
-                "seed" | "rate" => {}
+                "seed" | "rate" | "storm" => {}
                 "drop" => cfg.telemetry_drop = prob(k, v)?,
                 "stale" => cfg.telemetry_stale = prob(k, v)?,
                 "noise" => cfg.telemetry_noise = prob(k, v)?,
@@ -255,12 +358,54 @@ impl FaultConfig {
                 "slow" => cfg.slow_rate = prob(k, v)?,
                 "slow_ms" => cfg.slow_ms = int(k, v)?,
                 "livelock" => cfg.livelock_rate = prob(k, v)?,
+                "storm_period" => cfg.storm_period = int(k, v)? as u32,
+                "storm_burst" => cfg.storm_burst = int(k, v)? as u32,
+                "storm_boost" => {
+                    cfg.storm_boost = v
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("`{k}` needs a number, got `{v}`")))?;
+                }
+                "storm_calm" => {
+                    cfg.storm_calm = v
+                        .parse()
+                        .map_err(|_| FaultSpecError(format!("`{k}` needs a number, got `{v}`")))?;
+                }
                 other => {
                     return Err(FaultSpecError(format!("unknown fault key `{other}`")));
                 }
             }
         }
         Ok(cfg)
+    }
+}
+
+/// Which one-knob fault profile a rate expands to — shared by
+/// `resilience_sweep`, the chaos soak, and the CLI so the same profile
+/// name means the same fault process everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// Independent per-channel firing ([`FaultConfig::profile`]).
+    Proportional,
+    /// Seeded bursty, cross-channel-correlated windows
+    /// ([`FaultConfig::storm`]).
+    Storm,
+}
+
+impl FaultProfile {
+    /// Builds the profile's [`FaultConfig`] at `rate`.
+    pub fn build(self, rate: f64, seed: u64) -> FaultConfig {
+        match self {
+            FaultProfile::Proportional => FaultConfig::profile(rate, seed),
+            FaultProfile::Storm => FaultConfig::storm(rate, seed),
+        }
+    }
+
+    /// Short name for report rows and filenames.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::Proportional => "proportional",
+            FaultProfile::Storm => "storm",
+        }
     }
 }
 
@@ -391,16 +536,23 @@ impl FaultInjector {
     /// Draws the telemetry delivery outcome for `epoch`. Loss shadows
     /// staleness (a dropped packet can't also be replayed).
     pub fn telemetry_event(&mut self, epoch: u64) -> TelemetryEvent {
+        self.telemetry_event_for(epoch, 0)
+    }
+
+    /// Per-lane variant of [`FaultInjector::telemetry_event`]: `lane`
+    /// decorrelates the drop/stale draws across independent telemetry
+    /// streams (the policy server uses one lane per tenant) while the
+    /// storm windows — drawn on the epoch alone — stay shared, so a burst
+    /// hits many tenants at once.
+    pub fn telemetry_event_for(&mut self, epoch: u64, lane: u64) -> TelemetryEvent {
         let s = self.cfg.seed;
-        if self.cfg.telemetry_drop > 0.0
-            && unit(s, epoch, channel::TELEMETRY, 0) < self.cfg.telemetry_drop
-        {
+        let drop = self.cfg.effective_rate(self.cfg.telemetry_drop, epoch);
+        if drop > 0.0 && unit(s, epoch, channel::TELEMETRY, lane) < drop {
             self.counts.telemetry_dropped += 1;
             return TelemetryEvent::Lost;
         }
-        if self.cfg.telemetry_stale > 0.0
-            && unit(s, epoch, channel::STALE, 0) < self.cfg.telemetry_stale
-        {
+        let stale = self.cfg.effective_rate(self.cfg.telemetry_stale, epoch);
+        if stale > 0.0 && unit(s, epoch, channel::STALE, lane) < stale {
             self.counts.telemetry_stale += 1;
             return TelemetryEvent::Stale;
         }
@@ -413,9 +565,8 @@ impl FaultInjector {
     /// fired this epoch.
     pub fn apply_noise(&mut self, epoch: u64, stats: &mut EpochStats) -> bool {
         let s = self.cfg.seed;
-        if self.cfg.telemetry_noise == 0.0
-            || unit(s, epoch, channel::NOISE, 0) >= self.cfg.telemetry_noise
-        {
+        let noise = self.cfg.effective_rate(self.cfg.telemetry_noise, epoch);
+        if noise == 0.0 || unit(s, epoch, channel::NOISE, 0) >= noise {
             return false;
         }
         self.counts.telemetry_noisy += 1;
@@ -433,15 +584,13 @@ impl FaultInjector {
     /// Draws one domain's actuation outcome for `epoch`.
     pub fn actuation_event(&mut self, epoch: u64, domain: u64) -> ActuationEvent {
         let s = self.cfg.seed;
-        if self.cfg.actuation_drop > 0.0
-            && unit(s, epoch, channel::ACTUATION, domain) < self.cfg.actuation_drop
-        {
+        let drop = self.cfg.effective_rate(self.cfg.actuation_drop, epoch);
+        if drop > 0.0 && unit(s, epoch, channel::ACTUATION, domain) < drop {
             self.counts.actuation_dropped += 1;
             return ActuationEvent::Dropped;
         }
-        if self.cfg.actuation_delay > 0.0
-            && unit(s, epoch, channel::ACT_DELAY, domain) < self.cfg.actuation_delay
-        {
+        let delay = self.cfg.effective_rate(self.cfg.actuation_delay, epoch);
+        if delay > 0.0 && unit(s, epoch, channel::ACT_DELAY, domain) < delay {
             self.counts.actuation_delayed += 1;
             return ActuationEvent::Delayed;
         }
@@ -452,9 +601,10 @@ impl FaultInjector {
     /// number of (lowest) states that remain legal while a clamp event is
     /// active, or `None` when unclamped. Call exactly once per epoch.
     pub fn clamp_tick(&mut self, epoch: u64, n_states: usize) -> Option<usize> {
+        let clamp = self.cfg.effective_rate(self.cfg.clamp_rate, epoch);
         if self.clamp_left == 0
-            && self.cfg.clamp_rate > 0.0
-            && unit(self.cfg.seed, epoch, channel::CLAMP, 0) < self.cfg.clamp_rate
+            && clamp > 0.0
+            && unit(self.cfg.seed, epoch, channel::CLAMP, 0) < clamp
         {
             self.clamp_left = self.cfg.clamp_epochs.max(1);
         }
@@ -820,6 +970,96 @@ mod tests {
             assert_eq!(plan.take(4), Some(ChaosEvent::Slow), "persistent never disarms");
         }
         assert_eq!(plan.remaining(), 1);
+    }
+
+    #[test]
+    fn storm_disabled_is_bit_identical_to_base() {
+        // storm_period = 0 must leave every stream exactly as before the
+        // storm fields existed.
+        let base = FaultConfig::profile(0.3, 42);
+        let run = |cfg: FaultConfig| {
+            let mut inj = FaultInjector::new(cfg);
+            let mut log = Vec::new();
+            for e in 0..300 {
+                log.push(format!("{:?}", inj.telemetry_event_for(e, 7)));
+                log.push(format!("{:?}", inj.actuation_event(e, 2)));
+                log.push(format!("{:?}", inj.clamp_tick(e, 10)));
+            }
+            log
+        };
+        assert_eq!(run(base), run(FaultConfig { storm_boost: 9.0, storm_calm: 0.0, ..base }));
+    }
+
+    #[test]
+    fn storm_windows_are_bursty_and_deterministic() {
+        let cfg = FaultConfig::storm(0.2, 11);
+        assert!(!cfg.is_noop());
+        let active: Vec<bool> = (0..320).map(|e| cfg.storm_active(e)).collect();
+        let again: Vec<bool> = (0..320).map(|e| cfg.storm_active(e)).collect();
+        assert_eq!(active, again, "windows are a pure function of the seed");
+        // Each 32-epoch window holds exactly one 8-epoch burst.
+        for w in 0..10 {
+            let in_burst = active[w * 32..(w + 1) * 32].iter().filter(|&&a| a).count();
+            assert_eq!(in_burst, 8, "window {w} burst width");
+        }
+        // Different seeds place bursts differently.
+        let other = FaultConfig::storm(0.2, 12);
+        let active2: Vec<bool> = (0..320).map(|e| other.storm_active(e)).collect();
+        assert_ne!(active, active2);
+    }
+
+    #[test]
+    fn storm_correlates_channels_inside_bursts() {
+        // With storm on, drop events concentrate inside the shared burst
+        // windows: the in-burst drop rate must exceed the calm rate.
+        let cfg = FaultConfig::storm(0.15, 5);
+        let mut inj = FaultInjector::new(cfg);
+        let mut in_burst = (0usize, 0usize); // (epochs, drops)
+        let mut calm = (0usize, 0usize);
+        for e in 0..4000 {
+            let lost = inj.telemetry_event_for(e, 3) == TelemetryEvent::Lost;
+            let bucket = if cfg.storm_active(e) { &mut in_burst } else { &mut calm };
+            bucket.0 += 1;
+            bucket.1 += usize::from(lost);
+        }
+        let burst_rate = in_burst.1 as f64 / in_burst.0 as f64;
+        let calm_rate = calm.1 as f64 / calm.0.max(1) as f64;
+        assert!(
+            burst_rate > 3.0 * calm_rate,
+            "burst drop rate {burst_rate} should dwarf calm rate {calm_rate}"
+        );
+        // Effective rate respects the probability clamp.
+        assert!(cfg.effective_rate(0.9, 0) <= 1.0);
+    }
+
+    #[test]
+    fn storm_parse_and_profile_builder() {
+        let cfg = FaultConfig::parse("storm=0.2,seed=7").unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.storm_period, 32);
+        assert_eq!(cfg.storm_burst, 8);
+        assert!((cfg.telemetry_drop - 0.2).abs() < 1e-12);
+        let tweaked = FaultConfig::parse("storm=0.2,storm_burst=4,storm_boost=5.0").unwrap();
+        assert_eq!(tweaked.storm_burst, 4);
+        assert!((tweaked.storm_boost - 5.0).abs() < 1e-12);
+        assert_eq!(FaultProfile::Storm.build(0.1, 3), FaultConfig::storm(0.1, 3));
+        assert_eq!(FaultProfile::Proportional.build(0.1, 3), FaultConfig::profile(0.1, 3));
+        assert_eq!(FaultProfile::Storm.name(), "storm");
+    }
+
+    #[test]
+    fn per_lane_draws_decorrelate_tenants() {
+        let cfg = FaultConfig { seed: 13, telemetry_drop: 0.3, ..FaultConfig::default() };
+        let stream = |lane: u64| -> Vec<TelemetryEvent> {
+            let mut inj = FaultInjector::new(cfg);
+            (0..200).map(|e| inj.telemetry_event_for(e, lane)).collect()
+        };
+        assert_eq!(stream(4), stream(4), "per-lane stream is deterministic");
+        assert_ne!(stream(4), stream(5), "different lanes decorrelate");
+        assert_eq!(stream(0), {
+            let mut inj = FaultInjector::new(cfg);
+            (0..200).map(|e| inj.telemetry_event(e)).collect::<Vec<_>>()
+        });
     }
 
     #[test]

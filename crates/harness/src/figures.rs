@@ -893,9 +893,19 @@ pub fn resilience(preset: &Preset) -> FigureResult {
     };
     let rates: &[f64] = if smoke { &[0.0, 0.20] } else { &[0.0, 0.01, 0.05, 0.20] };
     let seed = fault_override().map_or(42, |s| s.faults.seed);
+    // A storm-shaped `--faults` override (e.g. `--faults storm=0.2,seed=7`)
+    // switches the whole sweep to the bursty correlated profile the chaos
+    // soak uses; the default stays the independent proportional profile.
+    let profile = fault_override().map_or(faults::FaultProfile::Proportional, |s| {
+        if s.faults.storm_period > 0 {
+            faults::FaultProfile::Storm
+        } else {
+            faults::FaultProfile::Proportional
+        }
+    });
     let mut base = preset.base_cfg(PolicyKind::Static(1700), 1);
     base.objective = Objective::MinEd2p;
-    let curves = resilience_sweep(&apps, &policies, &base, rates, seed, preset.threads);
+    let curves = resilience_sweep(&apps, &policies, &base, rates, seed, profile, preset.threads);
 
     let json_path = results_path("resilience.json");
     write_atomic(&json_path, &curves.to_json()).map_err(|e| error::io_at(&json_path, e))?;
@@ -922,9 +932,10 @@ pub fn resilience(preset: &Preset) -> FigureResult {
         rows,
         notes: vec![
             format!(
-                "Fault profile per rate r: telemetry drop r, stale r/2, noise r (±15%); \
+                "Fault profile ({}) per rate r: telemetry drop r, stale r/2, noise r (±15%); \
                  actuation drop/delay r/2; thermal clamps r/10. Seed {seed}; \
-                 degradation ladder hold→STALL→safe-max attached to every design."
+                 degradation ladder hold→STALL→safe-max attached to every design.",
+                profile.name()
             ),
             format!("Raw curves archived at {}.", json_path.display()),
             "Cells read: savings (perf loss, fallback epochs engaged). Savings should \

@@ -525,8 +525,10 @@ impl ResilienceCurves {
 /// Sweeps `policies` over `apps` at each fault rate, measuring energy and
 /// performance against the *fault-free* static 1.7 GHz baseline.
 ///
-/// Each rate builds a [`faults::FaultConfig::profile`] at the shared
-/// `seed` and attaches the default degradation ladder
+/// Each rate builds `profile` ([`faults::FaultProfile::Proportional`] for
+/// independent per-channel draws, [`faults::FaultProfile::Storm`] for the
+/// bursty cross-channel-correlated windows the chaos soak uses) at the
+/// shared `seed` and attaches the default degradation ladder
 /// ([`crate::runner::FaultSetup::with_default_ladder`]); rate 0 is the
 /// noop profile, so the first point of every curve is the ideal-GPU
 /// result. Baselines always run on the ideal GPU (the cache forces
@@ -537,6 +539,7 @@ pub fn resilience_sweep(
     base: &RunConfig,
     rates: &[f64],
     seed: u64,
+    profile: faults::FaultProfile,
     threads: usize,
 ) -> ResilienceCurves {
     use crate::runner::FaultSetup;
@@ -554,8 +557,7 @@ pub fn resilience_sweep(
         .collect();
     for &rate in rates {
         let mut cfg = base.clone();
-        cfg.faults =
-            Some(FaultSetup::with_default_ladder(faults::FaultConfig::profile(rate, seed)));
+        cfg.faults = Some(FaultSetup::with_default_ladder(profile.build(rate, seed)));
         let cells = run_grid(apps, policies, &cfg, threads);
         let baselines = global_baseline_cache().baselines(apps, &cfg, 1700, threads);
         let n = policies.len();

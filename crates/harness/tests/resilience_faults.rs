@@ -112,7 +112,15 @@ fn savings_degrade_gracefully_not_cliff() {
         PolicyKind::PcStall(PcStallConfig::default()),
     ];
     let base = tiny_cfg(PolicyKind::Static(1700), 60);
-    let curves = resilience_sweep(&apps, &policies, &base, &[0.0, 0.20], 42, 4);
+    let curves = resilience_sweep(
+        &apps,
+        &policies,
+        &base,
+        &[0.0, 0.20],
+        42,
+        faults::FaultProfile::Proportional,
+        4,
+    );
     assert_eq!(curves.rates, vec![0.0, 0.20]);
     for c in &curves.curves {
         assert_eq!(c.savings.len(), 2, "{}", c.policy);
@@ -127,6 +135,31 @@ fn savings_degrade_gracefully_not_cliff() {
         assert!(c.faults_injected[1] > 0, "{}: rate 0.2 injected nothing", c.policy);
         assert!(c.fallback_epochs[1] > 0, "{}: ladder never engaged at 20%", c.policy);
     }
+}
+
+#[test]
+fn storm_profile_sweeps_deterministically_and_differs_from_proportional() {
+    // The storm profile concentrates the same base rates into bursty,
+    // cross-channel-correlated windows. The sweep must stay reproducible
+    // (same seed → bit-identical curves) and must actually draw a
+    // different fault pattern than the independent proportional profile.
+    let apps = vec![by_name("comd", Scale::Quick).unwrap()];
+    let policies = vec![PolicyKind::PcStall(PcStallConfig::default())];
+    let base = tiny_cfg(PolicyKind::Static(1700), 60);
+    let rates = &[0.0, 0.20];
+    let storm_a =
+        resilience_sweep(&apps, &policies, &base, rates, 42, faults::FaultProfile::Storm, 4);
+    let storm_b =
+        resilience_sweep(&apps, &policies, &base, rates, 42, faults::FaultProfile::Storm, 4);
+    assert_eq!(storm_a, storm_b, "storm sweep must reproduce bit-identically");
+    let prop =
+        resilience_sweep(&apps, &policies, &base, rates, 42, faults::FaultProfile::Proportional, 4);
+    assert_eq!(storm_a.curves[0].faults_injected[0], 0, "rate 0 stays a noop under storms");
+    assert!(storm_a.curves[0].faults_injected[1] > 0, "storm at 20% injected nothing");
+    assert_ne!(
+        storm_a.curves[0].faults_injected, prop.curves[0].faults_injected,
+        "storm and proportional profiles should draw different fault patterns"
+    );
 }
 
 #[test]

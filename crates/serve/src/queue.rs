@@ -1,0 +1,258 @@
+//! Bounded, priority-tiered ingest queues with explicit backpressure.
+//!
+//! Capacity is a *global* budget across tiers: a full server sheds the
+//! lowest-priority queued batch (highest tier number, newest first) to
+//! admit higher-priority work, and sheds the incoming batch itself when
+//! nothing queued outranks it. Every shed is counted per tier — overload
+//! is a surfaced, attributable event, never silent decay.
+
+use std::collections::VecDeque;
+
+use snapshot::{Decoder, Encoder, SnapError, Snapshot};
+
+use crate::telemetry::TelemetryBatch;
+
+/// What happened to a submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued for the next epoch.
+    Accepted,
+    /// The server is full and nothing queued is lower priority: the
+    /// incoming batch was dropped (and counted).
+    ShedIncoming,
+    /// The incoming batch was queued by shedding a lower-priority victim.
+    ShedQueued {
+        /// Tier the victim batch sat in.
+        tier: u8,
+        /// Tenant whose batch was shed.
+        tenant: u64,
+    },
+}
+
+/// Per-tier shed accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShedStats {
+    /// Batches shed per tier (index = tier).
+    pub per_tier: Vec<u64>,
+    /// Batches accepted over the queue's lifetime.
+    pub accepted: u64,
+}
+
+impl ShedStats {
+    /// Total shed batches across tiers.
+    pub fn total(&self) -> u64 {
+        self.per_tier.iter().sum()
+    }
+}
+
+/// The server's ingest stage. Not thread-safe by itself — the server owns
+/// it behind its own serialization, which is also what keeps shed
+/// decisions deterministic (arrival order is the submission order).
+#[derive(Debug)]
+pub struct IngestQueues {
+    tiers: Vec<VecDeque<TelemetryBatch>>,
+    capacity: usize,
+    queued: usize,
+    shed: ShedStats,
+}
+
+impl IngestQueues {
+    /// `tiers` priority classes sharing `capacity` queued batches total.
+    pub fn new(tiers: u8, capacity: usize) -> Self {
+        let tiers = tiers.max(1);
+        IngestQueues {
+            tiers: (0..tiers).map(|_| VecDeque::new()).collect(),
+            capacity: capacity.max(1),
+            queued: 0,
+            shed: ShedStats { per_tier: vec![0; tiers as usize], accepted: 0 },
+        }
+    }
+
+    /// Number of priority tiers.
+    pub fn tiers(&self) -> u8 {
+        self.tiers.len() as u8
+    }
+
+    /// Batches currently queued.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Global capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shed/accept accounting so far.
+    pub fn shed_stats(&self) -> &ShedStats {
+        &self.shed
+    }
+
+    /// Submits a batch. The batch's tier is clamped to the configured
+    /// range. See module docs for the shedding policy.
+    pub fn submit(&mut self, mut batch: TelemetryBatch) -> SubmitOutcome {
+        let tier = (batch.tier as usize).min(self.tiers.len() - 1);
+        batch.tier = tier as u8;
+        if self.queued < self.capacity {
+            self.tiers[tier].push_back(batch);
+            self.queued += 1;
+            self.shed.accepted += 1;
+            return SubmitOutcome::Accepted;
+        }
+        // Full: find the lowest-priority tier with queued work that is
+        // strictly lower priority than the incoming batch.
+        let victim_tier = (tier + 1..self.tiers.len()).rev().find(|&t| !self.tiers[t].is_empty());
+        match victim_tier {
+            Some(vt) => {
+                // Shed the *newest* batch of the victim tier: its oldest
+                // data is the most valuable (closest to being served).
+                let victim = self.tiers[vt].pop_back().expect("victim tier checked non-empty");
+                self.shed.per_tier[vt] += 1;
+                self.tiers[tier].push_back(batch);
+                self.shed.accepted += 1;
+                SubmitOutcome::ShedQueued { tier: vt as u8, tenant: victim.tenant }
+            }
+            None => {
+                self.shed.per_tier[tier] += 1;
+                SubmitOutcome::ShedIncoming
+            }
+        }
+    }
+
+    /// Drains everything in priority order (tier 0 first, FIFO within a
+    /// tier) — the server's per-epoch consumption point.
+    pub fn drain(&mut self) -> Vec<TelemetryBatch> {
+        let mut out = Vec::with_capacity(self.queued);
+        for q in &mut self.tiers {
+            out.extend(q.drain(..));
+        }
+        self.queued = 0;
+        out
+    }
+}
+
+impl Snapshot for IngestQueues {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u8(self.tiers.len() as u8);
+        w.put_usize(self.capacity);
+        for q in &self.tiers {
+            w.put_usize(q.len());
+            for b in q {
+                b.encode(w);
+            }
+        }
+        w.put_usize(self.shed.per_tier.len());
+        for &s in &self.shed.per_tier {
+            w.put_u64(s);
+        }
+        w.put_u64(self.shed.accepted);
+    }
+    fn decode(r: &mut Decoder) -> Result<Self, SnapError> {
+        let tiers = r.take_u8()?;
+        let capacity = r.take_usize()?;
+        let mut qs = Vec::with_capacity(tiers as usize);
+        let mut queued = 0usize;
+        for _ in 0..tiers {
+            let n = r.take_usize()?;
+            let mut q = VecDeque::with_capacity(n.min(4096));
+            for _ in 0..n {
+                q.push_back(TelemetryBatch::decode(r)?);
+            }
+            queued += q.len();
+            qs.push(q);
+        }
+        let n = r.take_usize()?;
+        let mut per_tier = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            per_tier.push(r.take_u64()?);
+        }
+        let accepted = r.take_u64()?;
+        if qs.is_empty() || per_tier.len() != qs.len() {
+            return Err(SnapError::Invalid("ingest queue geometry".into()));
+        }
+        Ok(IngestQueues {
+            tiers: qs,
+            capacity: capacity.max(1),
+            queued,
+            shed: ShedStats { per_tier, accepted },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(tenant: u64, tier: u8) -> TelemetryBatch {
+        TelemetryBatch { tenant, tier, records: Vec::new() }
+    }
+
+    #[test]
+    fn accepts_until_capacity_then_sheds_lowest_tier() {
+        let mut q = IngestQueues::new(3, 4);
+        assert_eq!(q.submit(batch(1, 0)), SubmitOutcome::Accepted);
+        assert_eq!(q.submit(batch(2, 2)), SubmitOutcome::Accepted);
+        assert_eq!(q.submit(batch(3, 2)), SubmitOutcome::Accepted);
+        assert_eq!(q.submit(batch(4, 1)), SubmitOutcome::Accepted);
+        assert_eq!(q.queued(), 4);
+        // Full. A tier-0 arrival sheds the newest tier-2 batch.
+        assert_eq!(q.submit(batch(5, 0)), SubmitOutcome::ShedQueued { tier: 2, tenant: 3 });
+        assert_eq!(q.queued(), 4);
+        // A tier-2 arrival with only tier ≤ 2 queued is itself shed.
+        assert_eq!(q.submit(batch(6, 2)), SubmitOutcome::ShedIncoming);
+        assert_eq!(q.shed_stats().total(), 2);
+        assert_eq!(q.shed_stats().per_tier, vec![0, 0, 2]);
+        assert_eq!(q.shed_stats().accepted, 5);
+    }
+
+    #[test]
+    fn drain_returns_priority_order() {
+        let mut q = IngestQueues::new(3, 16);
+        q.submit(batch(1, 2));
+        q.submit(batch(2, 0));
+        q.submit(batch(3, 1));
+        q.submit(batch(4, 0));
+        let order: Vec<u64> = q.drain().into_iter().map(|b| b.tenant).collect();
+        assert_eq!(order, vec![2, 4, 3, 1], "tier order, FIFO within tier");
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn tier_is_clamped() {
+        let mut q = IngestQueues::new(2, 4);
+        q.submit(batch(1, 9));
+        let drained = q.drain();
+        assert_eq!(drained[0].tier, 1);
+    }
+
+    #[test]
+    fn incoming_cannot_shed_same_or_higher_tier() {
+        let mut q = IngestQueues::new(2, 2);
+        q.submit(batch(1, 0));
+        q.submit(batch(2, 0));
+        // Tier-1 arrival: everything queued outranks it.
+        assert_eq!(q.submit(batch(3, 1)), SubmitOutcome::ShedIncoming);
+        // Tier-0 arrival: queued work is the same priority, not lower.
+        assert_eq!(q.submit(batch(4, 0)), SubmitOutcome::ShedIncoming);
+        assert_eq!(q.queued(), 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut q = IngestQueues::new(3, 8);
+        q.submit(batch(1, 0));
+        q.submit(batch(2, 2));
+        for t in 0..10 {
+            q.submit(batch(10 + t, 2));
+        }
+        let mut w = Encoder::new();
+        q.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = IngestQueues::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.queued(), q.queued());
+        assert_eq!(back.shed_stats(), q.shed_stats());
+        assert_eq!(back.capacity(), q.capacity());
+    }
+}

@@ -1,0 +1,105 @@
+//! Satellite property: any interleaving of evict → storm → restore yields
+//! decisions bit-identical to a never-evicted tenant. Fuzzed over seeded
+//! interleavings at the session level (snapshot roundtrips mid-storm) and
+//! the server level (forced evictions with torn restore reads). ci.sh
+//! runs this file at `PCSTALL_THREADS=1` and `=8`.
+
+use dvfs::states::FreqStates;
+use exec::global_pool;
+use faults::{FaultConfig, FaultInjector, TelemetryEvent};
+use gpu_sim::time::Frequency;
+use pcstall::resilience::FallbackConfig;
+use serve::{synth_record, PolicyServer, ServerConfig, TelemetryBatch, TenantSession};
+use snapshot::{Decoder, Encoder, Snapshot};
+
+/// Private draw channels for the fuzzers, disjoint from `faults::channel`
+/// (≤ 0x0E) and the workload-synthesis channels (0x20–0x24).
+const FUZZ_SESSION_EVICT: u64 = 0x30;
+const FUZZ_SERVER_EVICT: u64 = 0x31;
+
+#[test]
+fn evict_storm_restore_interleavings_match_never_evicted_session() {
+    let states = FreqStates::paper();
+    for seed in 0..24u64 {
+        let mut inj = FaultInjector::new(FaultConfig::storm(0.25, seed ^ 0xABCD));
+        let mut twin = TenantSession::new(1, 0, 0, FallbackConfig::default());
+        let mut churned = twin.clone();
+        let mut f = states.min();
+        for e in 0..80u64 {
+            // Fuzzed interleaving: at seeded points, push the churned
+            // session through the same encode→decode path eviction uses.
+            if faults::draw(seed, e, FUZZ_SESSION_EVICT, 0) < 0.2 {
+                let mut w = Encoder::new();
+                churned.encode(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = Decoder::new(&bytes);
+                churned = TenantSession::decode(&mut r).unwrap();
+                r.finish().unwrap();
+            }
+            // Storm-driven deliveries: both sessions see the same stream.
+            let rec = match inj.telemetry_event_for(e, 1) {
+                TelemetryEvent::Deliver => Some(synth_record(seed, 1, e, f)),
+                _ => None,
+            };
+            let a = twin.observe(e, rec.as_ref(), &states);
+            let b = churned.observe(e, rec.as_ref(), &states);
+            assert_eq!(a, b, "seed {seed} epoch {e}: evicted session diverged");
+            twin.commit(a.desired, a.curve[a.desired]);
+            churned.commit(b.desired, b.curve[b.desired]);
+            f = states.as_slice()[a.desired];
+        }
+        assert_eq!(twin, churned, "seed {seed}: end state diverged");
+    }
+}
+
+#[test]
+fn forced_evictions_with_torn_reads_leave_the_decision_log_unchanged() {
+    let states = FreqStates::paper();
+    let tenants = 6u64;
+    for seed in 0..6u64 {
+        let cfg = ServerConfig {
+            states: states.clone(),
+            torn_read_rate: 0.3,
+            restore_retries: 8,
+            seed: seed ^ 0x7777,
+            ..ServerConfig::default()
+        };
+        let mut churned = PolicyServer::new(cfg.clone(), global_pool());
+        let mut plain =
+            PolicyServer::new(ServerConfig { torn_read_rate: 0.0, ..cfg }, global_pool());
+        let mut cur = vec![states.min(); tenants as usize];
+        for e in 0..60u64 {
+            for t in 0..tenants {
+                let rec = synth_record(seed, t, e, cur[t as usize]);
+                let batch = TelemetryBatch { tenant: t, tier: (t % 3) as u8, records: vec![rec] };
+                churned.submit(batch.clone());
+                plain.submit(batch);
+            }
+            // Fuzzed forced evictions. Every tenant delivers every epoch,
+            // so each victim is restored during the very next admission
+            // pass — through torn-read chaos — and must pick up exactly
+            // where it left off.
+            for t in 0..tenants {
+                if faults::draw(seed, e, FUZZ_SERVER_EVICT, t) < 0.25 {
+                    churned.evict_tenant(t);
+                }
+            }
+            let da = churned.run_epoch();
+            let db = plain.run_epoch();
+            assert_eq!(da, db, "seed {seed} epoch {e}: decisions diverged");
+            for d in &db {
+                cur[d.tenant as usize] = Frequency::from_mhz(d.freq_mhz);
+            }
+        }
+        assert_eq!(churned.decision_log(), plain.decision_log(), "seed {seed}");
+        let stats = churned.stats();
+        assert!(stats.evictions > 0, "seed {seed}: fuzz never evicted");
+        assert!(stats.restores > 0, "seed {seed}");
+        assert!(stats.torn_reads > 0, "seed {seed}: torn-read chaos never fired");
+        assert_eq!(stats.rebuilt_cold, 0, "seed {seed}: retries must absorb torn reads");
+        assert_eq!(stats.lost_tenants, 0, "seed {seed}");
+        // The restore retries are attributed per tenant.
+        assert!(churned.supervision().total.retries > 0, "seed {seed}");
+        assert!(!churned.supervision().per_key.is_empty(), "seed {seed}");
+    }
+}

@@ -120,9 +120,38 @@ impl CircuitBreaker {
         self.entries.values().map(|e| e.trips).sum()
     }
 
+    /// Lifetime trips for one key (0 if never seen).
+    pub fn trips_for(&self, key: &str) -> u64 {
+        self.entries.get(key).map_or(0, |e| e.trips)
+    }
+
     /// Keys whose circuits are open right now, in sorted order.
     pub fn open_keys(&self) -> Vec<&str> {
         self.entries.iter().filter(|(_, e)| e.open).map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// Per-key state in sorted key order: `(key, consecutive_failures,
+    /// open, lifetime_trips)`. The export/restore pair lets a long-running
+    /// consumer (the policy server) carry breaker state through a
+    /// kill-and-recover snapshot bit-exactly.
+    pub fn export_state(&self) -> Vec<(String, u32, bool, u64)> {
+        self.entries.iter().map(|(k, e)| (k.clone(), e.consecutive, e.open, e.trips)).collect()
+    }
+
+    /// Rebuilds a breaker from [`CircuitBreaker::export_state`] output.
+    pub fn restore_state(threshold: u32, entries: Vec<(String, u32, bool, u64)>) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            entries: entries
+                .into_iter()
+                .map(|(k, consecutive, open, trips)| (k, BreakerEntry { consecutive, open, trips }))
+                .collect(),
+        }
+    }
+
+    /// The configured trip threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
     }
 }
 
@@ -164,6 +193,50 @@ impl SupervisionReport {
         self.breaker_skips += other.breaker_skips;
         self.unrecovered += other.unrecovered;
         self.backoff_ms += other.backoff_ms;
+    }
+}
+
+/// A [`SupervisionReport`] with a per-key breakdown. The plain report's
+/// `merge` collapses everything into aggregate counters, which is fine for
+/// a single sweep but useless for a multi-tenant server: "3 breaker trips"
+/// doesn't say *which* tenant's telemetry channel is flapping. This keyed
+/// variant attributes every recorded event to a key (tenant id, app name)
+/// while keeping the aggregate total in lockstep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeyedSupervisionReport {
+    /// Aggregate across all keys — always the field-wise sum of
+    /// `per_key`'s values plus anything recorded without a key.
+    pub total: SupervisionReport,
+    /// Per-key reports in sorted key order.
+    pub per_key: BTreeMap<String, SupervisionReport>,
+}
+
+impl KeyedSupervisionReport {
+    /// Records `delta` against `key`, updating both the key's report and
+    /// the aggregate.
+    pub fn record(&mut self, key: &str, delta: &SupervisionReport) {
+        self.total.merge(delta);
+        self.per_key.entry(key.to_string()).or_default().merge(delta);
+    }
+
+    /// Merges another keyed report: aggregates sum field-wise and each of
+    /// `other`'s keys merges into the matching key here — per-tenant
+    /// attribution survives cross-shard and cross-study aggregation.
+    pub fn merge(&mut self, other: &KeyedSupervisionReport) {
+        self.total.merge(&other.total);
+        for (key, rep) in &other.per_key {
+            self.per_key.entry(key.clone()).or_default().merge(rep);
+        }
+    }
+
+    /// Keys sorted by descending breaker trips then ascending key — the
+    /// "worst tenants first" view reports surface.
+    pub fn worst_keys(&self, n: usize) -> Vec<(&str, &SupervisionReport)> {
+        let mut rows: Vec<(&str, &SupervisionReport)> =
+            self.per_key.iter().map(|(k, r)| (k.as_str(), r)).collect();
+        rows.sort_by(|a, b| b.1.breaker_trips.cmp(&a.1.breaker_trips).then_with(|| a.0.cmp(b.0)));
+        rows.truncate(n);
+        rows
     }
 }
 
@@ -323,6 +396,57 @@ mod tests {
         assert_eq!(a.recovered, 4);
         assert_eq!(a.breaker_trips, 1);
         assert_eq!(a.backoff_ms, 10);
+    }
+
+    #[test]
+    fn keyed_report_attributes_and_merges_per_key() {
+        let mut k = KeyedSupervisionReport::default();
+        k.record(
+            "tenant-3",
+            &SupervisionReport { breaker_trips: 1, retries: 2, ..Default::default() },
+        );
+        k.record("tenant-7", &SupervisionReport { breaker_trips: 3, ..Default::default() });
+        k.record("tenant-3", &SupervisionReport { recovered: 1, ..Default::default() });
+        assert_eq!(k.total.breaker_trips, 4);
+        assert_eq!(k.total.retries, 2);
+        assert_eq!(k.per_key["tenant-3"].retries, 2);
+        assert_eq!(k.per_key["tenant-3"].recovered, 1);
+        assert_eq!(k.per_key["tenant-7"].breaker_trips, 3);
+
+        let mut other = KeyedSupervisionReport::default();
+        other.record("tenant-7", &SupervisionReport { breaker_trips: 2, ..Default::default() });
+        other.record("tenant-9", &SupervisionReport { timeouts: 5, ..Default::default() });
+        k.merge(&other);
+        assert_eq!(k.total.breaker_trips, 6);
+        assert_eq!(k.per_key["tenant-7"].breaker_trips, 5, "same key sums across merges");
+        assert_eq!(k.per_key["tenant-9"].timeouts, 5, "new keys appear");
+
+        let worst = k.worst_keys(2);
+        assert_eq!(worst[0].0, "tenant-7");
+        assert_eq!(worst.len(), 2);
+    }
+
+    #[test]
+    fn breaker_state_roundtrips_and_attributes_trips() {
+        let mut cb = CircuitBreaker::new(2);
+        cb.record_failure("t1");
+        cb.record_failure("t1"); // trips t1
+        cb.record_failure("t2");
+        assert_eq!(cb.trips_for("t1"), 1);
+        assert_eq!(cb.trips_for("t2"), 0);
+        assert_eq!(cb.trips_for("never"), 0);
+
+        let exported = cb.export_state();
+        let restored = CircuitBreaker::restore_state(cb.threshold(), exported.clone());
+        assert_eq!(restored.export_state(), exported, "export→restore→export is stable");
+        assert!(restored.is_open("t1"));
+        assert!(!restored.is_open("t2"));
+        assert_eq!(restored.trips(), 1);
+        // The restored breaker continues mid-run: t2 had 1 consecutive
+        // failure, one more trips it.
+        let mut restored = restored;
+        assert!(restored.record_failure("t2"));
+        assert_eq!(restored.trips_for("t2"), 1);
     }
 
     #[test]

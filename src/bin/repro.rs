@@ -4,6 +4,7 @@
 //! repro list                           list every figure/table experiment
 //! repro run <id> [--full] [--threads N] [--faults SPEC]   run one experiment
 //! repro all [--full] [--threads N] [--faults SPEC]        run every experiment
+//! repro serve [--tenants N] [--epochs N] [--shards N] [--faults SPEC] ...
 //! repro snapshot save <app> [--epochs N] [--full] [--out PATH]
 //! repro snapshot restore <path> [--epochs N]
 //! repro snapshot ls
@@ -41,6 +42,13 @@
 //! that directory: every completed (workload × design) cell is persisted
 //! as it finishes, and a restarted invocation skips the journaled cells —
 //! the resumed output is bit-identical to an uninterrupted run.
+//!
+//! The `serve` subcommand runs a bounded chaos soak of the multi-tenant
+//! DVFS policy server (the `serve` crate): seeded synthetic tenants driven
+//! closed-loop through admission, backpressure, the degradation ladder and
+//! the global power-cap arbiter, with `--faults` storms, `--torn` snapshot
+//! reads and an optional `--kill-at` mid-soak restart. It prints the typed
+//! SLO summary (or `--json`) and exits 2 on any SLO violation.
 //!
 //! The `snapshot` subcommand works with versioned binary simulator
 //! snapshots directly: `save` warms an application up and snapshots the
@@ -198,6 +206,119 @@ fn warmup_cfg(p: &Preset) -> RunConfig {
     let mut cfg = RunConfig::paper(PolicyKind::Static(1700));
     cfg.gpu = p.gpu;
     cfg
+}
+
+/// The `repro serve` subcommand: a bounded chaos soak of the multi-tenant
+/// policy server. Faults reuse the same `--faults SPEC` grammar as the
+/// experiments (`storm=RATE` selects the bursty correlated profile);
+/// `hang=RATE` arms silent per-tenant hang windows and `--torn RATE` tears
+/// restore reads. Exits 2 if any SLO is violated (tenants lost, tenants
+/// unaccounted, or a missed global-cap epoch).
+fn serve_cmd(args: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: repro serve [--tenants N] [--epochs N] [--shards N] \
+                         [--max-live N] [--kill-at E] [--torn RATE] [--seed N] \
+                         [--faults SPEC] [--threads N] [--json]";
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(default),
+            Some(_) => flag_value(args, flag)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{flag} requires a non-negative integer")),
+        }
+    };
+    let mut cfg = serve::SoakConfig {
+        tenants: match num("--tenants", 64) {
+            Ok(n) => n.max(1),
+            Err(m) => {
+                eprintln!("{m}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        ..serve::SoakConfig::default()
+    };
+    let flags: Result<(), String> = (|| {
+        cfg.epochs = num("--epochs", 200)?.max(1);
+        cfg.shards = num("--shards", 1)?.max(1) as usize;
+        // Default live cap at 3/4 of the fleet: eviction churn on by
+        // default, so the restore path is exercised, not just compiled.
+        cfg.max_live = num("--max-live", (cfg.tenants * 3 / 4).max(1))? as usize;
+        cfg.kill_at = match args.iter().position(|a| a == "--kill-at") {
+            None => None,
+            Some(_) => Some(
+                flag_value(args, "--kill-at")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--kill-at requires an epoch number")?,
+            ),
+        };
+        cfg.seed = num("--seed", 42)?;
+        if args.iter().any(|a| a == "--torn") {
+            cfg.torn_read_rate = flag_value(args, "--torn")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or("--torn requires a probability in [0, 1]")?;
+        }
+        if let Some(spec) = flag_value(args, "--faults") {
+            cfg.faults = faults::FaultConfig::parse(spec)
+                .map_err(|e| format!("bad --faults spec: {}", e.0))?;
+        }
+        Ok(())
+    })();
+    if let Err(m) = flags {
+        eprintln!("{m}\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let t0 = std::time::Instant::now();
+    let report = serve::run_soak(&cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        let s = &report.stats;
+        println!(
+            "policy server soak: {} tenants x {} epochs, {} shard(s), cap {:.1} W{}",
+            report.tenants,
+            report.epochs,
+            report.shards,
+            report.power_cap_w,
+            if report.killed { ", killed+recovered mid-soak" } else { "" },
+        );
+        println!(
+            "  {} decisions in {secs:.2}s ({:.0}/s), digest {:016x}",
+            s.decisions,
+            s.decisions as f64 / secs.max(1e-9),
+            report.digest,
+        );
+        println!(
+            "  admission: {} admitted, {} evictions, {} restores ({} torn reads, {} cold rebuilds), {} live + {} stored",
+            s.admitted, s.evictions, s.restores, s.torn_reads, s.rebuilt_cold,
+            report.live, report.evicted,
+        );
+        println!(
+            "  ladder: {} normal / {} hold / {} stall / {} safe; breakers: {} trips, {} recoveries ({} hung tenants)",
+            s.rung_normal, s.rung_hold, s.rung_stall, s.rung_safe,
+            report.supervision.breaker_trips, report.supervision.recovered, report.hung_tenants,
+        );
+        println!(
+            "  ingest: {} accepted, {} shed {:?}; power cap: {} met / {} missed",
+            report.shed.accepted,
+            report.shed.total(),
+            report.shed.per_tier,
+            s.cap_epochs_met,
+            s.cap_epochs_missed,
+        );
+        println!(
+            "  SLOs: {} (lost={}, accounted={}, cap-missed={})",
+            if report.slos_met() { "MET" } else { "VIOLATED" },
+            s.lost_tenants,
+            report.accounted(),
+            s.cap_epochs_missed,
+        );
+    }
+    if report.slos_met() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_EXPERIMENT_FAILED)
+    }
 }
 
 /// The `repro snapshot <save|restore|ls|verify>` subcommand.
@@ -420,9 +541,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("snapshot") => snapshot_cmd(&args),
+        Some("serve") => serve_cmd(&args),
         _ => {
             eprintln!(
-                "usage: repro <list|run <id>|all|snapshot <save|restore|ls|verify>> \
+                "usage: repro <list|run <id>|all|serve|snapshot <save|restore|ls|verify>> \
                  [--full] [--threads N] [--faults SPEC] [--deadline MS] [--max-retries N] \
                  [--snapshot-dir DIR] [--resume]"
             );
